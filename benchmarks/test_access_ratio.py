@@ -1,0 +1,40 @@
+"""§2.3: PSEC must track function variables on top of memory locations.
+
+The paper measured ~8x more accesses to track on average.  The exact
+multiplier depends on how scalar-heavy the code is; the claim under test is
+that variable accesses multiply the tracking load severalfold compared to a
+memory-only tool (Valgrind/ASan-style)."""
+
+import statistics
+
+import pytest
+
+from repro.harness import access_ratio
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def ratios():
+    return access_ratio()
+
+
+def test_access_ratio_print(benchmark, ratios):
+    result = benchmark.pedantic(
+        lambda: access_ratio(ALL_WORKLOADS[:3]), rounds=1, iterations=1
+    )
+    assert len(result) == 3
+    print()
+    for name, ratio in ratios:
+        print(f"  {name:14s} {ratio:5.1f}x")
+    mean = statistics.mean(r for _, r in ratios)
+    print(f"  {'average':14s} {mean:5.1f}x")
+
+
+def test_every_benchmark_tracks_more_than_memory_tools(ratios):
+    for name, ratio in ratios:
+        assert ratio > 1.5, name
+
+
+def test_average_is_severalfold(ratios):
+    mean = statistics.mean(r for _, r in ratios)
+    assert mean > 3.0

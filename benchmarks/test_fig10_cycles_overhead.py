@@ -1,0 +1,55 @@
+"""Figure 10: overhead of reference-cycle discovery, naive vs CARMOT.
+
+CARMOT only needs allocations and the Reachability Graph for this use case
+(§5.2), so its overhead is near-zero while a Table-1-literal naive profiler
+still tracks the Sets of every PSE — about two orders of magnitude apart.
+"""
+
+import statistics
+
+import pytest
+
+from repro.harness import figure10, render_overheads
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure10()
+
+
+def test_figure10_rows_print(benchmark, rows):
+    result = benchmark.pedantic(
+        lambda: figure10(ALL_WORKLOADS[:2]), rounds=1, iterations=1
+    )
+    assert len(result) == 2
+    print()
+    print(render_overheads("Figure 10: cycle-finding overhead", rows))
+
+
+def test_carmot_is_near_free(rows):
+    """Tracking only allocations + escapes costs almost nothing."""
+    for row in rows:
+        assert row.carmot_overhead < 2.5
+
+
+def test_large_gap(rows):
+    gaps = [r.gap for r in rows if r.gap is not None]
+    assert statistics.geometric_mean(gaps) > 25
+
+
+def test_naive_still_expensive(rows):
+    for row in rows:
+        if row.naive_overhead is not None:
+            assert row.naive_overhead > 20
+
+
+def test_cheaper_than_openmp_use_case(rows):
+    """The cycles use case tracks strictly less than the OpenMP one, so
+    CARMOT's overhead here must be lower on every benchmark."""
+    from repro.harness import figure7
+
+    openmp = {r.benchmark: r for r in figure7()}
+    for row in rows:
+        assert row.carmot_overhead <= openmp[row.benchmark].carmot_overhead \
+            + 0.05

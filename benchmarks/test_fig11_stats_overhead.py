@@ -1,0 +1,57 @@
+"""Figure 11: overhead of building the STATS Input/Output/State classes.
+
+The gap to the naive profiler is about one order of magnitude here — not
+two — because STATS needs no Use-callstacks (Table 1), so the naive
+profiler is spared the stack walks that dominate its OpenMP-use-case cost
+(§5.3)."""
+
+import statistics
+
+import pytest
+
+from repro.harness import figure7, figure11, render_overheads
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure11()
+
+
+def test_figure11_rows_print(benchmark, rows):
+    result = benchmark.pedantic(
+        lambda: figure11(ALL_WORKLOADS[:2]), rounds=1, iterations=1
+    )
+    assert len(result) == 2
+    print()
+    print(render_overheads("Figure 11: STATS overhead", rows))
+
+
+def test_one_order_of_magnitude_gap(rows):
+    gaps = [r.gap for r in rows if r.gap is not None]
+    geo = statistics.geometric_mean(gaps)
+    assert 5 < geo < 60  # one order, not two
+
+
+def test_gap_smaller_than_openmp_use_case(rows):
+    """§5.3: the naive profiler skips use-callstacks for STATS, so its
+    relative disadvantage shrinks versus Figure 7."""
+    openmp = {r.benchmark: r for r in figure7()}
+    stats_gaps = [r.gap for r in rows if r.gap is not None]
+    openmp_gaps = [r.gap for r in openmp.values() if r.gap is not None]
+    assert (statistics.geometric_mean(stats_gaps)
+            < 0.6 * statistics.geometric_mean(openmp_gaps))
+
+
+def test_naive_stats_cheaper_than_naive_openmp(rows):
+    openmp = {r.benchmark: r for r in figure7()}
+    for row in rows:
+        other = openmp[row.benchmark]
+        if row.naive_overhead is None or other.naive_overhead is None:
+            continue
+        assert row.naive_overhead < other.naive_overhead
+
+
+def test_carmot_overhead_practical(rows):
+    for row in rows:
+        assert row.carmot_overhead < 8

@@ -1,0 +1,57 @@
+"""Figure 7: PSEC overhead for the OpenMP use case, naive vs CARMOT.
+
+The paper's claim: CARMOT's PSEC-specific optimizations cut the profiling
+overhead by ~two orders of magnitude versus a naive (but correct) profiler.
+"""
+
+import statistics
+
+import pytest
+
+from repro.harness import figure7, render_overheads
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure7()
+
+
+def test_figure7_rows_print(benchmark, rows):
+    result = benchmark.pedantic(
+        lambda: figure7(ALL_WORKLOADS[:2]), rounds=1, iterations=1
+    )
+    assert len(result) == 2
+    print()
+    print(render_overheads("Figure 7: OpenMP use-case overhead", rows))
+
+
+def test_all_benchmarks_measured(rows):
+    assert len(rows) == 15
+
+
+def test_carmot_beats_naive_everywhere(rows):
+    for row in rows:
+        if row.naive_overhead is None:
+            continue  # the paper's "*": naive did not complete
+        assert row.carmot_overhead < row.naive_overhead
+
+
+def test_two_orders_of_magnitude_reduction(rows):
+    """Geometric-mean gap must be >= ~1.5 orders, with peaks near 2."""
+    gaps = [r.gap for r in rows if r.gap is not None]
+    assert statistics.geometric_mean(gaps) > 30
+    assert max(gaps) > 90
+
+
+def test_naive_overhead_is_large(rows):
+    """Naive PSEC is impractical: two to three orders over the baseline."""
+    for row in rows:
+        if row.naive_overhead is not None:
+            assert row.naive_overhead > 50
+
+
+def test_carmot_overhead_is_practical(rows):
+    """CARMOT makes PSEC practical: small-constant-factor overhead."""
+    for row in rows:
+        assert row.carmot_overhead < 10

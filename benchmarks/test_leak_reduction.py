@@ -1,0 +1,46 @@
+"""§5.2: bytes leaked by nab before/after breaking the reported cycle.
+
+The paper measures 230,537 leaked bytes reduced to 127,633 (-44.6%) after
+porting the CARMOT-identified reference cycle to smart pointers with the
+suggested weak pointer.  Absolute numbers differ (our nab port is smaller);
+the claim under test is a substantial-but-partial reduction: the cycle
+holds a large share of the leak, and the rest (the over-allocation scratch
+buffers) remains."""
+
+import pytest
+
+from repro.harness import nab_leak_experiment
+
+
+@pytest.fixture(scope="module")
+def report():
+    return nab_leak_experiment()
+
+
+def test_leak_experiment_print(benchmark, report):
+    result = benchmark.pedantic(nab_leak_experiment, rounds=1, iterations=1)
+    assert result.leaked_bytes_before == report.leaked_bytes_before
+    print()
+    print(f"  leaked before fix : {report.leaked_bytes_before} bytes")
+    print(f"  held by cycles    : {report.cycle_held_bytes} bytes")
+    print(f"  leaked after fix  : {report.leaked_bytes_after} bytes")
+    print(f"  reduction         : {report.reduction_percent:.1f}%")
+
+
+def test_cycle_detected(report):
+    assert report.cycle_count >= 1
+
+
+def test_cycle_holds_substantial_memory(report):
+    assert report.cycle_held_bytes > 0
+    assert report.cycle_held_bytes < report.leaked_bytes_before
+
+
+def test_weak_pointer_fix_breaks_every_cycle(report):
+    assert report.still_held_after_fix == 0
+
+
+def test_reduction_is_partial_like_the_paper(report):
+    """Paper: 44.6% reduction.  Ours must be substantial (>25%) but not
+    total (<75%) — the non-cycle over-allocation remains leaked."""
+    assert 25.0 < report.reduction_percent < 75.0

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Figure 2: why PSEC beats dependence-graph/memory-footprint analyses.
+
+The loop reads ``a[i]`` and writes ``a[j]`` where j takes the values
+{1, 0, 0, 2, 3, ..., N-2}.  A dependence-graph tool sees loads and stores of
+*the object a* and must conservatively serialize the loop's hot computation;
+PSEC characterizes every element separately and discovers that only ``a[1]``
+participates in the cross-iteration RAW dependence, so only its accesses
+need a critical section and the rest of the loop parallelizes.
+"""
+
+from repro.abstractions import recommend
+from repro.compiler import compile_baseline, compile_carmot
+from repro.parallel import profile_execution, simulate_parallel_for
+
+N = 48
+
+SOURCE = """
+int a[@N@];
+int sink = 0;
+
+int pick_j(int i) {
+  if (i == 0) return 1;
+  if (i == 1 || i == 2) return 0;
+  return i - 1;
+}
+
+void func() {
+  #pragma carmot roi abstraction(parallel_for) name(fig2_loop)
+  for (int i = 0; i < @N@; ++i) {
+    int j = pick_j(i);
+    int value = a[i];
+    for (int w = 0; w < 16; ++w) value = (value * 7 + i) % 1000003;
+    sink = sink + value % 3;
+    a[j] = value;
+  }
+}
+
+int main() {
+  for (int k = 0; k < @N@; ++k) a[k] = k * k;
+  func();
+  print_int(a[0] + sink);
+  return 0;
+}
+""".replace("@N@", str(N))
+
+
+def main() -> None:
+    program = compile_carmot(SOURCE, name="figure2")
+    _, runtime = program.run()
+    psec = runtime.psecs[0]
+
+    transfer_elements = [
+        key[2] // key[3]
+        for key in psec.sets()["transfer"]
+        if key[0] == "mem"
+    ]
+    print(f"elements of a[] in the Transfer set: {transfer_elements}")
+    print("  -> only these accesses need #pragma omp critical;")
+    print("     a dependence graph would have serialized the whole body.\n")
+
+    print(recommend(runtime, 0).render())
+
+    # Simulated performance of the two pragma styles.
+    baseline = compile_baseline(SOURCE, name="figure2")
+    profile = profile_execution(baseline.module)
+    loop = profile.loops[0]
+    psec_pragma = simulate_parallel_for(loop.iteration_costs,
+                                        serial_fraction=0.08)
+    conservative = simulate_parallel_for(loop.iteration_costs,
+                                         serial_fraction=0.95)
+    print(f"\nserial loop cost            : {loop.total_cost}")
+    print(f"PSEC pragma (tiny critical) : {loop.total_cost / psec_pragma:.2f}x"
+          " speedup")
+    print(f"dep-graph pragma (serial)   : "
+          f"{loop.total_cost / conservative:.2f}x speedup")
+
+
+if __name__ == "__main__":
+    main()

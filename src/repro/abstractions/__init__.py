@@ -1,0 +1,66 @@
+"""Abstraction recommendation generators (§3.2): PSEC → source-level advice."""
+
+from typing import Optional
+
+from repro.errors import RecommendationError
+from repro.runtime.engine import CarmotRuntime
+from repro.abstractions.base import (
+    ABSTRACTION_REQUIREMENTS,
+    PsecRequirements,
+    Recommendation,
+    describe_pse,
+)
+from repro.abstractions.openmp_for import (
+    CloneAdvice,
+    OrderedAdvice,
+    ParallelForRecommendation,
+    generate_parallel_for,
+)
+from repro.abstractions.openmp_task import TaskRecommendation, generate_task
+from repro.abstractions.reductions import detect_reduction
+from repro.abstractions.smart_pointers import (
+    CycleAdvice,
+    SmartPointerRecommendation,
+    generate_smart_pointers,
+    simulated_leak_with_cycles,
+)
+from repro.abstractions.stats import StatsRecommendation, generate_stats
+
+_GENERATORS = {
+    "parallel_for": generate_parallel_for,
+    "task": generate_task,
+    "smart_pointers": generate_smart_pointers,
+    "stats": generate_stats,
+}
+
+
+def recommend(runtime: CarmotRuntime, roi_id: int,
+              abstraction: Optional[str] = None) -> Recommendation:
+    """Generate the recommendation for one profiled ROI.
+
+    ``abstraction`` overrides the one named in the ROI's pragma.
+    """
+    module = runtime.module
+    if roi_id not in module.rois:
+        raise RecommendationError(f"unknown ROI id {roi_id}")
+    roi = module.rois[roi_id]
+    chosen = abstraction or roi.abstraction
+    if chosen is None:
+        raise RecommendationError(
+            f"ROI {roi.name} names no abstraction; pass one explicitly"
+        )
+    if chosen not in _GENERATORS:
+        raise RecommendationError(f"unsupported abstraction {chosen!r}")
+    psec = runtime.psecs[roi_id]
+    return _GENERATORS[chosen](module, psec, runtime.asmt, roi)
+
+
+__all__ = [
+    "ABSTRACTION_REQUIREMENTS", "PsecRequirements", "Recommendation",
+    "describe_pse", "CloneAdvice", "OrderedAdvice",
+    "ParallelForRecommendation", "generate_parallel_for",
+    "TaskRecommendation", "generate_task", "detect_reduction",
+    "CycleAdvice", "SmartPointerRecommendation", "generate_smart_pointers",
+    "simulated_leak_with_cycles", "StatsRecommendation", "generate_stats",
+    "recommend",
+]

@@ -1,0 +1,93 @@
+"""Shared infrastructure for abstraction recommendation generators.
+
+Table 1 of the paper — which PSEC components each abstraction needs — is
+encoded in :data:`ABSTRACTION_REQUIREMENTS` and drives both the
+instrumentation policies and the Table 1 regeneration test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.module import Module, RoiInfo
+from repro.runtime.asmt import Asmt, AsmtEntry
+from repro.runtime.psec import Psec, PseKey
+
+
+@dataclass(frozen=True)
+class PsecRequirements:
+    """One row of Table 1."""
+
+    sets: bool
+    use_callstacks: bool
+    reachability_graph: bool
+
+
+#: Table 1, verbatim.
+ABSTRACTION_REQUIREMENTS: Dict[str, PsecRequirements] = {
+    "omp_parallel_for": PsecRequirements(True, True, False),
+    "omp_task": PsecRequirements(True, False, False),
+    "smart_pointers": PsecRequirements(True, False, True),
+    "stats": PsecRequirements(True, False, False),
+}
+
+
+@dataclass
+class PseDescriptor:
+    """Human-readable identity of one PSE, resolved through the ASMT."""
+
+    key: PseKey
+    name: str
+    is_variable: bool
+    storage: str  # local/param/global/heap/stack
+    alloc_loc: Optional[str] = None
+    alloc_callstack: Tuple[str, ...] = ()
+    element_index: Optional[int] = None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def describe_pse(key: PseKey, psec: Psec, asmt: Asmt) -> PseDescriptor:
+    """Resolve a PSE key into a named descriptor."""
+    entry = psec.entries.get(key)
+    if key[0] == "var":
+        var = entry.var if entry else None
+        if var is not None:
+            return PseDescriptor(key, var.name, True, var.storage,
+                                 str(var.decl_loc) if var.decl_loc else None)
+        meta = asmt.get(key[1])
+        name = meta.display_name if meta else f"pse#{key[1]}"
+        return PseDescriptor(key, name, True, meta.kind if meta else "?")
+    _, obj_id, offset, size = key
+    meta = asmt.get(obj_id)
+    if meta is None:
+        return PseDescriptor(key, f"mem#{obj_id}+{offset}", False, "?")
+    index = offset // size if size else offset
+    base = meta.display_name
+    name = f"{base}[{index}]" if meta.size > size else base
+    return PseDescriptor(
+        key, name, False, meta.kind,
+        str(meta.alloc_loc) if meta.alloc_loc else None,
+        meta.alloc_callstack, index,
+    )
+
+
+def group_memory_keys_by_object(keys: List[PseKey]) -> Dict[int, List[PseKey]]:
+    grouped: Dict[int, List[PseKey]] = {}
+    for key in keys:
+        if key[0] == "mem":
+            grouped.setdefault(key[1], []).append(key)
+    return grouped
+
+
+@dataclass
+class Recommendation:
+    """Base class for generated recommendations."""
+
+    roi: RoiInfo
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        raise NotImplementedError

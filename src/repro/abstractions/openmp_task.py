@@ -1,0 +1,66 @@
+"""``#pragma omp task`` recommendation generation (§3.2).
+
+The Input and Output Sets of the ROI map directly onto the ``depend``
+attribute: every Input PSE becomes ``depend(in: e)``, every Output PSE
+``depend(out: e)`` (PSEs in both appear in both, i.e. inout semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.ir.module import Module, RoiInfo
+from repro.runtime.asmt import Asmt
+from repro.runtime.psec import Psec
+from repro.abstractions.base import Recommendation, describe_pse
+
+
+@dataclass
+class TaskRecommendation(Recommendation):
+    depend_in: List[str] = field(default_factory=list)
+    depend_out: List[str] = field(default_factory=list)
+
+    def pragma_text(self) -> str:
+        clauses: List[str] = []
+        if self.depend_in:
+            clauses.append(f"depend(in: {', '.join(self.depend_in)})")
+        if self.depend_out:
+            clauses.append(f"depend(out: {', '.join(self.depend_out)})")
+        suffix = " " + " ".join(clauses) if clauses else ""
+        return f"#pragma omp task{suffix}"
+
+    def render(self) -> str:
+        lines = [
+            f"ROI {self.roi.name} ({self.roi.loc}): recommended pragma:",
+            f"  {self.pragma_text()}",
+        ]
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def generate_task(
+    module: Module,
+    psec: Psec,
+    asmt: Asmt,
+    roi: RoiInfo,
+) -> TaskRecommendation:
+    rec = TaskRecommendation(roi=roi)
+    seen_in = set()
+    seen_out = set()
+    for key, entry in psec.entries.items():
+        letters = entry.letters
+        if not letters:
+            continue
+        name = describe_pse(key, psec, asmt).name
+        if "I" in letters or "T" in letters:
+            if name not in seen_in:
+                seen_in.add(name)
+                rec.depend_in.append(name)
+        if "O" in letters:
+            if name not in seen_out:
+                seen_out.add(name)
+                rec.depend_out.append(name)
+    rec.depend_in.sort()
+    rec.depend_out.sort()
+    return rec

@@ -1,0 +1,77 @@
+"""STATS Input-Output-State recommendation generation (§3.2, §5.3).
+
+The STATS compiler [Deiana et al., ASPLOS'18] parallelizes nondeterministic
+programs if the programmer classifies the PSEs of the state-dependence code
+region into Input (only read), Output (written first), and State (read then
+written — the RAW state dependence STATS satisfies in its own way).  The
+mapping from PSEC is direct:
+
+    Input set → Input class, Output set → Output class,
+    Transfer set → State class, Cloneable set → declare locally
+    (the ROI moves into its own function; clone-able PSEs become locals so
+    STATS can spawn independent threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.ir.module import Module, RoiInfo
+from repro.runtime.asmt import Asmt
+from repro.runtime.psec import Psec
+from repro.abstractions.base import Recommendation, describe_pse
+
+
+@dataclass
+class StatsRecommendation(Recommendation):
+    input_class: List[str] = field(default_factory=list)
+    output_class: List[str] = field(default_factory=list)
+    state_class: List[str] = field(default_factory=list)
+    localize: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"ROI {self.roi.name} ({self.roi.loc}): STATS classes:"]
+        lines.append(f"  Input : {', '.join(self.input_class) or '-'}")
+        lines.append(f"  Output: {', '.join(self.output_class) or '-'}")
+        lines.append(f"  State : {', '.join(self.state_class) or '-'}")
+        if self.localize:
+            lines.append(
+                "  declare locally in the extracted function: "
+                + ", ".join(self.localize)
+            )
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def generate_stats(
+    module: Module,
+    psec: Psec,
+    asmt: Asmt,
+    roi: RoiInfo,
+) -> StatsRecommendation:
+    rec = StatsRecommendation(roi=roi)
+    for key, entry in sorted(psec.entries.items(), key=lambda kv: str(kv[0])):
+        letters = entry.letters
+        if not letters:
+            continue
+        name = describe_pse(key, psec, asmt).name
+        if "T" in letters:
+            rec.state_class.append(name)
+            continue
+        if "C" in letters:
+            rec.localize.append(name)
+            continue
+        if "I" in letters and "O" not in letters:
+            rec.input_class.append(name)
+        elif "O" in letters and "I" not in letters:
+            rec.output_class.append(name)
+        elif "I" in letters and "O" in letters:
+            # Read then written within single invocations only: no
+            # cross-invocation RAW, so it is an Input that the region also
+            # produces — STATS treats it as State conservatively.
+            rec.state_class.append(name)
+    for field_list in (rec.input_class, rec.output_class, rec.state_class,
+                       rec.localize):
+        field_list.sort()
+    return rec

@@ -1,0 +1,79 @@
+"""Complete call graph (§4.4.5).
+
+"Complete" in the paper's sense: the *absence* of an edge (f, g) proves f
+cannot invoke g.  Direct calls contribute exact edges; indirect calls are
+resolved through the points-to sets of their function-pointer operands,
+falling back to "every address-taken function" when the points-to set is
+empty.  Builtin (precompiled) targets are tracked separately so the
+Pin-reduction optimization can reason about them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set
+
+from repro.ir.instructions import Call
+from repro.ir.module import Module
+from repro.analysis.alias import PointsTo
+
+
+class CallGraph:
+    def __init__(self, module: Module, points_to: PointsTo) -> None:
+        self.module = module
+        self.points_to = points_to
+        self.callees: Dict[str, Set[str]] = defaultdict(set)
+        self.callers: Dict[str, Set[str]] = defaultdict(set)
+        self.calls_builtin: Dict[str, Set[str]] = defaultdict(set)
+        self._build()
+
+    def _build(self) -> None:
+        for function in self.module.functions.values():
+            fn = function.name
+            self.callees.setdefault(fn, set())
+            for block in function.blocks:
+                for instr in block.instrs:
+                    if not isinstance(instr, Call):
+                        continue
+                    direct = instr.direct_target
+                    if direct is not None and direct not in self.module.functions:
+                        self.calls_builtin[fn].add(direct)
+                        continue
+                    for target in self.points_to.call_targets(fn, instr):
+                        self.callees[fn].add(target)
+                        self.callers[target].add(fn)
+                    if direct is None and self.points_to.may_reach_builtin(
+                        fn, instr
+                    ):
+                        self.calls_builtin[fn].add("<indirect>")
+
+    def transitive_callers(self, roots: List[str]) -> Set[str]:
+        """All functions that can be on the callstack when any root starts:
+        the roots themselves plus every (transitive) caller."""
+        result: Set[str] = set()
+        stack = [r for r in roots if r in self.module.functions]
+        while stack:
+            fn = stack.pop()
+            if fn in result:
+                continue
+            result.add(fn)
+            stack.extend(self.callers.get(fn, ()))
+        return result
+
+    def transitive_callees(self, roots: List[str]) -> Set[str]:
+        result: Set[str] = set()
+        stack = [r for r in roots if r in self.module.functions]
+        while stack:
+            fn = stack.pop()
+            if fn in result:
+                continue
+            result.add(fn)
+            stack.extend(self.callees.get(fn, ()))
+        return result
+
+    def may_reach_precompiled(self, function_name: str) -> bool:
+        """Can execution starting in ``function_name`` reach builtin code?"""
+        for fn in self.transitive_callees([function_name]):
+            if self.calls_builtin.get(fn):
+                return True
+        return False

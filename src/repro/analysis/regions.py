@@ -1,0 +1,111 @@
+"""ROI region extraction: which instructions lie inside an ROI, statically.
+
+ROIs are single-entry single-exit by construction (§3.1): lowering emits one
+``roi.begin`` per ROI and ``roi.end`` on every exit path.  The region of an
+ROI is the set of instruction spans between its begin and its ends; the
+optimization passes iterate these spans to decide what to (de)instrument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.ir.instructions import Instr, RoiBegin, RoiEnd
+from repro.ir.module import Block, Function, Module
+
+
+@dataclass
+class RoiRegion:
+    """Static extent of one ROI inside its function.
+
+    ``spans`` maps block -> (start_index, end_index) half-open instruction
+    ranges that belong to the ROI.  ``begin_block`` holds the (unique)
+    ``roi.begin`` site; ``end_sites`` all ``roi.end`` sites.
+    """
+
+    roi_id: int
+    function: Function
+    spans: Dict[Block, Tuple[int, int]]
+    begin_block: Block
+    begin_index: int
+    end_sites: List[Tuple[Block, int]]
+
+    def instructions(self) -> Iterator[Tuple[Block, int, Instr]]:
+        for block, (start, end) in self.spans.items():
+            for index in range(start, end):
+                yield block, index, block.instrs[index]
+
+    def contains(self, block: Block, index: int) -> bool:
+        span = self.spans.get(block)
+        return span is not None and span[0] <= index < span[1]
+
+    @property
+    def blocks(self) -> Set[Block]:
+        return set(self.spans)
+
+
+def find_roi_region(function: Function, roi_id: int) -> Optional[RoiRegion]:
+    """Walk forward from ``roi.begin`` to the matching ``roi.end`` sites."""
+    begin: Optional[Tuple[Block, int]] = None
+    for block in function.blocks:
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, RoiBegin) and instr.roi_id == roi_id:
+                begin = (block, index)
+                break
+        if begin:
+            break
+    if begin is None:
+        return None
+    begin_block, begin_index = begin
+    spans: Dict[Block, Tuple[int, int]] = {}
+    end_sites: List[Tuple[Block, int]] = []
+    # Worklist of (block, start_index): instructions from start_index until
+    # a roi.end (exclusive of markers) belong to the region.
+    worklist: List[Tuple[Block, int]] = [(begin_block, begin_index + 1)]
+    seen: Set[Tuple[Block, int]] = set()
+    while worklist:
+        block, start = worklist.pop()
+        if (block, start) in seen:
+            continue
+        seen.add((block, start))
+        end = len(block.instrs)
+        terminated_by_end = False
+        for index in range(start, len(block.instrs)):
+            instr = block.instrs[index]
+            if isinstance(instr, RoiEnd) and instr.roi_id == roi_id:
+                end = index
+                end_sites.append((block, index))
+                terminated_by_end = True
+                break
+        old = spans.get(block)
+        if old is not None:
+            merged = (min(old[0], start), max(old[1], end))
+            if merged == old:
+                continue
+            spans[block] = merged
+        else:
+            spans[block] = (start, end)
+        if not terminated_by_end:
+            for succ in block.successors():
+                worklist.append((succ, 0))
+    return RoiRegion(
+        roi_id=roi_id,
+        function=function,
+        spans=spans,
+        begin_block=begin_block,
+        begin_index=begin_index,
+        end_sites=end_sites,
+    )
+
+
+def all_roi_regions(module: Module) -> Dict[int, RoiRegion]:
+    regions: Dict[int, RoiRegion] = {}
+    for roi_id, info in module.rois.items():
+        function = module.functions.get(info.function)
+        if function is None:
+            continue
+        region = find_roi_region(function, roi_id)
+        if region is not None:
+            regions[roi_id] = region
+    return regions

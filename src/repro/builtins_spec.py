@@ -1,0 +1,105 @@
+"""Declarations of MiniC builtin ("library") functions.
+
+This registry is the single source of truth shared by semantic analysis,
+lowering, and the VM.  Builtins model the *precompiled libraries* of the
+paper: their bodies are native (Python) and therefore invisible to the
+CARMOT compiler.  Any PSE accesses they perform can only be observed by the
+Pintool stand-in (:mod:`repro.pin`), which is exactly the situation §4.5
+describes.  Builtins flagged ``touches_memory=False`` (pure math, I/O of
+scalars) never access tracked program memory, so the Pin-reduction
+optimization can drop their gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.lang import types as ct
+
+_CHAR_PTR = ct.PointerType(ct.CHAR)
+_INT_PTR = ct.PointerType(ct.INT)
+_FLOAT_PTR = ct.PointerType(ct.FLOAT)
+
+
+@dataclass(frozen=True)
+class BuiltinSpec:
+    """Signature and behaviour class of one builtin function.
+
+    ``base_cost`` is the cost-model charge for executing the builtin's
+    native body once, excluding per-byte work which the VM adds per call.
+    ``touches_memory`` marks builtins whose native body reads or writes
+    program memory (and must therefore be Pin-traced inside an ROI);
+    ``allocates`` marks the heap allocator entry points.
+    """
+
+    name: str
+    return_type: ct.Type
+    param_types: Tuple[ct.Type, ...]
+    base_cost: int = 4
+    touches_memory: bool = False
+    allocates: bool = False
+    variadic_floats: bool = False
+
+    @property
+    def function_type(self) -> ct.FunctionType:
+        return ct.FunctionType(self.return_type, self.param_types)
+
+
+def _spec(*args, **kwargs) -> BuiltinSpec:
+    return BuiltinSpec(*args, **kwargs)
+
+
+BUILTINS: Dict[str, BuiltinSpec] = {
+    spec.name: spec
+    for spec in [
+        # Memory management.
+        _spec("malloc", _CHAR_PTR, (ct.INT,), base_cost=20, allocates=True),
+        _spec("calloc", _CHAR_PTR, (ct.INT, ct.INT), base_cost=24, allocates=True),
+        _spec("free", ct.VOID, (_CHAR_PTR,), base_cost=12),
+        # Precompiled memory routines (Pin-traced inside ROIs).
+        _spec("memcpy", ct.VOID, (_CHAR_PTR, _CHAR_PTR, ct.INT), base_cost=8,
+              touches_memory=True),
+        _spec("memset", ct.VOID, (_CHAR_PTR, ct.INT, ct.INT), base_cost=8,
+              touches_memory=True),
+        _spec("memmove", ct.VOID, (_CHAR_PTR, _CHAR_PTR, ct.INT), base_cost=10,
+              touches_memory=True),
+        _spec("qsort_int", ct.VOID, (_INT_PTR, ct.INT), base_cost=16,
+              touches_memory=True),
+        _spec("sum_float_array", ct.FLOAT, (_FLOAT_PTR, ct.INT), base_cost=8,
+              touches_memory=True),
+        _spec("strlen", ct.INT, (_CHAR_PTR,), base_cost=6, touches_memory=True),
+        # Math (pure, never Pin-traced).
+        _spec("sqrt", ct.FLOAT, (ct.FLOAT,), base_cost=6),
+        _spec("exp", ct.FLOAT, (ct.FLOAT,), base_cost=8),
+        _spec("log", ct.FLOAT, (ct.FLOAT,), base_cost=8),
+        _spec("sin", ct.FLOAT, (ct.FLOAT,), base_cost=8),
+        _spec("cos", ct.FLOAT, (ct.FLOAT,), base_cost=8),
+        _spec("pow", ct.FLOAT, (ct.FLOAT, ct.FLOAT), base_cost=10),
+        _spec("fabs", ct.FLOAT, (ct.FLOAT,), base_cost=2),
+        _spec("floor", ct.FLOAT, (ct.FLOAT,), base_cost=2),
+        _spec("fmin", ct.FLOAT, (ct.FLOAT, ct.FLOAT), base_cost=2),
+        _spec("fmax", ct.FLOAT, (ct.FLOAT, ct.FLOAT), base_cost=2),
+        _spec("abs", ct.INT, (ct.INT,), base_cost=2),
+        _spec("imin", ct.INT, (ct.INT, ct.INT), base_cost=2),
+        _spec("imax", ct.INT, (ct.INT, ct.INT), base_cost=2),
+        _spec("float_of_int", ct.FLOAT, (ct.INT,), base_cost=1),
+        _spec("int_of_float", ct.INT, (ct.FLOAT,), base_cost=1),
+        # Deterministic pseudo-random source (replaces benchmark inputs).
+        _spec("rand_seed", ct.VOID, (ct.INT,), base_cost=2),
+        _spec("rand_int", ct.INT, (ct.INT,), base_cost=4),
+        _spec("rand_float", ct.FLOAT, (), base_cost=4),
+        # Scalar I/O (collected by the VM, not printed).
+        _spec("print_int", ct.VOID, (ct.INT,), base_cost=4),
+        _spec("print_float", ct.VOID, (ct.FLOAT,), base_cost=4),
+        _spec("print_str", ct.VOID, (_CHAR_PTR,), base_cost=4, touches_memory=True),
+    ]
+}
+
+
+def is_builtin(name: str) -> bool:
+    return name in BUILTINS
+
+
+def builtin(name: str) -> BuiltinSpec:
+    return BUILTINS[name]

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <file.mc> [options]``.
+
+Mirrors how a programmer invokes CARMOT: point it at a source file whose
+ROIs carry ``#pragma carmot roi`` annotations, and it profiles one
+execution and prints the recommendation for every ROI.
+
+Subcommands:
+
+- ``recommend`` (default) — profile and print abstraction recommendations;
+- ``psec``      — print the raw Sets of every ROI;
+- ``overhead``  — compare baseline/naive/CARMOT cost on the program;
+- ``ir``        — dump the (optionally instrumented) IR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.abstractions import describe_pse, recommend
+from repro.compiler import (
+    CarmotOptions,
+    compile_baseline,
+    compile_carmot,
+    compile_naive,
+    frontend,
+)
+from repro.errors import ReproError
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    program = compile_carmot(source, args.abstraction, name=args.file)
+    result, runtime = program.run(entry=args.entry)
+    if args.show_output:
+        print("program output:", " ".join(result.output))
+    if not program.module.rois:
+        print("no #pragma carmot roi annotations found", file=sys.stderr)
+        return 1
+    for roi_id, roi in sorted(program.module.rois.items()):
+        abstraction = args.abstraction or roi.abstraction
+        if abstraction is None:
+            print(f"ROI {roi.name}: no abstraction requested; skipping")
+            continue
+        print(recommend(runtime, roi_id, abstraction).render())
+        print()
+    return 0
+
+
+def _cmd_psec(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    program = compile_carmot(source, args.abstraction, name=args.file)
+    _, runtime = program.run(entry=args.entry)
+    for roi_id, psec in sorted(runtime.psecs.items()):
+        roi = program.module.rois[roi_id]
+        print(f"ROI {roi.name} ({roi.loc}) — {psec.invocations} invocations")
+        for set_name, keys in psec.sets().items():
+            names = sorted(
+                str(describe_pse(k, psec, runtime.asmt)) for k in keys
+            )
+            print(f"  {set_name:9s}: {', '.join(names) or '-'}")
+        if psec.reachability.edge_count:
+            cycles = psec.reachability.find_cycles()
+            print(f"  reachability: {psec.reachability.node_count} nodes, "
+                  f"{psec.reachability.edge_count} edges, "
+                  f"{len(cycles)} cycle(s)")
+        print()
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    base, _ = compile_baseline(source, name=args.file).run(entry=args.entry)
+    naive, _ = compile_naive(source, args.abstraction,
+                             name=args.file).run(entry=args.entry)
+    carmot, _ = compile_carmot(source, args.abstraction,
+                               name=args.file).run(entry=args.entry)
+    print(f"baseline cost : {base.cost}")
+    print(f"naive         : {naive.cost}  ({naive.cost / base.cost:.1f}x)")
+    print(f"carmot        : {carmot.cost}  ({carmot.cost / base.cost:.1f}x)")
+    print(f"gap           : {naive.cost / carmot.cost:.1f}x")
+    return 0
+
+
+def _cmd_ir(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    if args.mode == "carmot":
+        module = compile_carmot(source, args.abstraction,
+                                name=args.file).module
+    elif args.mode == "naive":
+        module = compile_naive(source, args.abstraction,
+                               name=args.file).module
+    elif args.mode == "baseline":
+        module = compile_baseline(source, name=args.file).module
+    else:
+        module = frontend(source, args.file)
+    print(module)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CARMOT reproduction: PSEC profiling of MiniC programs",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="MiniC source file")
+        p.add_argument("--abstraction", default=None,
+                       choices=["parallel_for", "task", "smart_pointers",
+                                "stats"],
+                       help="override the abstraction named in the pragma")
+        p.add_argument("--entry", default="main")
+
+    rec = sub.add_parser("recommend", help="print recommendations (default)")
+    common(rec)
+    rec.add_argument("--show-output", action="store_true")
+    rec.set_defaults(func=_cmd_recommend)
+
+    psec = sub.add_parser("psec", help="print the raw PSEC sets")
+    common(psec)
+    psec.set_defaults(func=_cmd_psec)
+
+    over = sub.add_parser("overhead", help="baseline/naive/carmot cost")
+    common(over)
+    over.set_defaults(func=_cmd_overhead)
+
+    ir = sub.add_parser("ir", help="dump IR")
+    common(ir)
+    ir.add_argument("--mode", default="plain",
+                    choices=["plain", "baseline", "naive", "carmot"])
+    ir.set_defaults(func=_cmd_ir)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Default subcommand: treat `repro foo.mc` as `repro recommend foo.mc`.
+    known = {"recommend", "psec", "overhead", "ir", "-h", "--help"}
+    if argv and argv[0] not in known:
+        argv.insert(0, "recommend")
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "func"):
+        parser.print_help()
+        return 2
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The CARMOT compiler: instrumentation, PSEC-specific optimizations, -O3."""
+
+from repro.compiler.carmot import CarmotBuildInfo, CarmotOptions, apply_carmot
+from repro.compiler.driver import (
+    BuildMode,
+    CompiledProgram,
+    compile_baseline,
+    compile_carmot,
+    compile_naive,
+    frontend,
+)
+from repro.compiler.instrument import (
+    InstrumentationPlan,
+    InstrumentationReport,
+    instrument_module,
+)
+from repro.compiler.mem2reg import promotable_allocas, promote_allocas
+from repro.compiler.o3 import optimize_module_o3, optimize_o3
+from repro.compiler.opts import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize_function,
+    simplify_cfg,
+)
+
+__all__ = [
+    "CarmotBuildInfo", "CarmotOptions", "apply_carmot", "BuildMode",
+    "CompiledProgram", "compile_baseline", "compile_carmot", "compile_naive",
+    "frontend", "InstrumentationPlan", "InstrumentationReport",
+    "instrument_module", "promotable_allocas", "promote_allocas",
+    "optimize_module_o3", "optimize_o3", "eliminate_dead_code",
+    "fold_constants", "optimize_function", "simplify_cfg",
+]

@@ -1,0 +1,534 @@
+"""The CARMOT compilation pipeline: PSEC-specific optimizations 1–7 (§4.4–4.5).
+
+Order of operations on a freshly-lowered module:
+
+1. points-to + complete call graph;
+2. **opt 5** (call-graph): functions that can never be on the callstack when
+   an ROI starts get the full conventional ``-O3`` treatment;
+3. **opt 4** (selective mem2reg): in the remaining ("tagged") functions,
+   promote locals never used in any ROI, plus the ROI loops' governing
+   induction variables (which the pragma generator privatizes implicitly);
+4. **opt 1** (subsequent accesses): must-already-accessed data-flow marks
+   redundant probes;
+5. **opt 3** (fixed FSA states): loop-invariant scalar loads → hoisted
+   ``classify I``; never-read stores → hoisted ``classify O`` (+``C`` when
+   the store provably executes in ≥2 invocations);
+6. **opt 2** (PSE aggregation): single-site, induction-indexed contiguous
+   accesses inside the ROI collapse to one ranged probe per invocation;
+7. **opt 6** (Pin reduction): clear gates on calls that provably never
+   reach precompiled code that touches program memory;
+8. instrument; **opt 7** (callstack clustering) is a runtime knob carried
+   in the result.
+
+Every optimization can be toggled independently — Figure 8 measures the
+per-optimization contribution exactly this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro import builtins_spec
+from repro.lang import types as ct
+from repro.ir.instructions import (
+    AccessKind,
+    AddrOffset,
+    Alloca,
+    Call,
+    Instr,
+    Load,
+    ProbeAccess,
+    ProbeClassify,
+    Store,
+)
+from repro.ir.module import Function, Module, RoiInfo
+from repro.ir.values import Const, FunctionRef, GlobalRef, Temp, Value
+from repro.analysis.alias import PointsTo
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.dominators import DominatorInfo
+from repro.analysis.loops import (
+    Loop,
+    find_loops,
+    innermost_loop_containing,
+    match_trip_count,
+)
+from repro.analysis.mustaccess import analyze_must_access, pse_key_of_address
+from repro.analysis.pdg import MemoryDependences
+from repro.analysis.regions import RoiRegion, all_roi_regions
+from repro.compiler.instrument import (
+    InstrumentationPlan,
+    InstrumentationReport,
+    instrument_module,
+)
+from repro.compiler.mem2reg import promotable_allocas, promote_allocas
+from repro.compiler.o3 import optimize_o3
+from repro.runtime.config import InstrumentationPolicy, RuntimeConfig
+
+
+@dataclass
+class CarmotOptions:
+    """Per-optimization toggles (all on = full CARMOT)."""
+
+    subsequent_accesses: bool = True      # opt 1
+    aggregation: bool = True              # opt 2
+    fixed_classification: bool = True     # opt 3
+    selective_mem2reg: bool = True        # opt 4
+    callgraph_o3: bool = True             # opt 5
+    reduce_pin: bool = True               # opt 6
+    callstack_clustering: bool = True     # opt 7 (runtime knob)
+
+    @classmethod
+    def none(cls) -> "CarmotOptions":
+        return cls(False, False, False, False, False, False, False)
+
+
+@dataclass
+class CarmotBuildInfo:
+    """Metadata about one CARMOT compilation, for tests and Figure 8."""
+
+    options: CarmotOptions
+    o3_functions: List[str] = field(default_factory=list)
+    promoted_locals: int = 0
+    report: Optional[InstrumentationReport] = None
+
+
+def apply_carmot(
+    module: Module,
+    policy: InstrumentationPolicy,
+    options: Optional[CarmotOptions] = None,
+) -> CarmotBuildInfo:
+    """Run the CARMOT pipeline on a lowered module, in place."""
+    options = options or CarmotOptions()
+    info = CarmotBuildInfo(options=options)
+    points_to = PointsTo(module)
+    callgraph = CallGraph(module, points_to)
+
+    roi_functions = sorted({roi.function for roi in module.rois.values()})
+    tagged = callgraph.transitive_callers(roi_functions)
+
+    # Opt 5: conventional optimization of provably-ROI-free functions.
+    if options.callgraph_o3:
+        for function in module.functions.values():
+            if function.name not in tagged:
+                optimize_o3(function)
+                info.o3_functions.append(function.name)
+
+    # Opt 4: selective mem2reg inside tagged functions.
+    if options.selective_mem2reg:
+        info.promoted_locals = _selective_mem2reg(module, tagged)
+
+    # Points-to sets are conservative over the rewritten bodies; rebuild so
+    # later queries see the post-mem2reg IR.
+    points_to = PointsTo(module)
+    regions = all_roi_regions(module)
+
+    plan = InstrumentationPlan(policy=policy, gate_all_calls=True)
+
+    for roi_id, region in regions.items():
+        roi = module.rois[roi_id]
+        function = region.function
+        handled: Set[Tuple] = set()
+        if options.fixed_classification or options.aggregation:
+            handled = _plan_roi_optimizations(
+                module, roi, region, points_to, plan, options
+            )
+        if options.subsequent_accesses:
+            _plan_subsequent_accesses(function, region, plan, handled)
+
+    if options.reduce_pin:
+        _plan_pin_reduction(module, points_to, plan)
+
+    if options.callgraph_o3:
+        _plan_out_of_roi_suppression(module, callgraph, regions, plan)
+
+    info.report = instrument_module(module, plan)
+    return info
+
+
+# ---------------------------------------------------------------------------
+# Opt 4
+# ---------------------------------------------------------------------------
+
+
+def _selective_mem2reg(module: Module, tagged: Set[str]) -> int:
+    regions = all_roi_regions(module)
+    regions_by_fn: Dict[str, List[RoiRegion]] = {}
+    for region in regions.values():
+        regions_by_fn.setdefault(region.function.name, []).append(region)
+    induction_uids: Dict[str, Set[int]] = {}
+    for roi in module.rois.values():
+        if roi.induction_var is not None:
+            induction_uids.setdefault(roi.function, set()).add(
+                roi.induction_var.uid
+            )
+    promoted = 0
+    for function in module.functions.values():
+        if function.name not in tagged or function.conventionally_optimized:
+            continue
+        used_in_roi: Set[str] = set()
+        for region in regions_by_fn.get(function.name, ()):
+            for _, _, instr in region.instructions():
+                if isinstance(instr, (Load, Store)) and isinstance(
+                    instr.ptr, Temp
+                ):
+                    used_in_roi.add(instr.ptr.name)
+        inductions = induction_uids.get(function.name, set())
+        chosen: List[Alloca] = []
+        for alloca in promotable_allocas(function):
+            is_induction = (alloca.var is not None
+                            and alloca.var.uid in inductions)
+            if alloca.result.name not in used_in_roi or is_induction:
+                chosen.append(alloca)
+        promoted += promote_allocas(function, chosen)
+    return promoted
+
+
+# ---------------------------------------------------------------------------
+# Opts 2 + 3
+# ---------------------------------------------------------------------------
+
+
+def _plan_roi_optimizations(
+    module: Module,
+    roi: RoiInfo,
+    region: RoiRegion,
+    points_to: PointsTo,
+    plan: InstrumentationPlan,
+    options: CarmotOptions,
+) -> Set[Tuple]:
+    """Fixed classification (scalars) and aggregation (arrays) for one ROI.
+
+    Returns the set of syntactic PSE keys whose probes were replaced, so
+    opt 1 does not need to consider them again.
+    """
+    function = region.function
+    handled: Set[Tuple] = set()
+    if not roi.is_loop_body:
+        if options.aggregation:
+            _plan_inner_loop_aggregation(function, region, points_to, plan)
+        return handled
+    dom = DominatorInfo(function)
+    loops = find_loops(function, dom)
+    loop = innermost_loop_containing(loops, region.begin_block)
+    if loop is None or loop.preheader is None:
+        return handled
+    anchor = loop.preheader.terminator
+    if anchor is None:
+        return handled
+
+    deps = MemoryDependences(function, region, points_to)
+    accesses = _group_region_accesses(function, region)
+
+    if options.fixed_classification:
+        multi_trip = _provably_multi_trip(function, loop, roi)
+        for key, (loads, stores) in accesses.items():
+            addr = (loads or stores)[0][2].ptr
+            var = (loads or stores)[0][2].var
+            size = _probe_size_of(loads, stores)
+            if stores and not loads:
+                if all(deps.store_unread_in_roi(s) for _, _, s in stores):
+                    letters = "O"
+                    if multi_trip and _unconditional(stores, region, dom):
+                        letters = "CO"
+                    plan.insertions.setdefault(id(anchor), []).append(
+                        ProbeClassify(letters, addr, size, var,
+                                      stores[0][2].loc, roi_id=roi.roi_id)
+                    )
+                    for _, _, store in stores:
+                        plan.suppressed.add(id(store))
+                    handled.add(key)
+            elif loads and not stores:
+                if all(deps.load_invariant_in_roi(l) for _, _, l in loads):
+                    plan.insertions.setdefault(id(anchor), []).append(
+                        ProbeClassify("I", addr, size, var,
+                                      loads[0][2].loc, roi_id=roi.roi_id)
+                    )
+                    for _, _, load in loads:
+                        plan.suppressed.add(id(load))
+                    handled.add(key)
+
+    if options.aggregation:
+        _plan_inner_loop_aggregation(function, region, points_to, plan)
+    return handled
+
+
+def _group_region_accesses(function: Function, region: RoiRegion):
+    """Group in-region loads/stores by syntactic PSE key (alloca/global)."""
+    accesses: Dict[Tuple, Tuple[list, list]] = {}
+    for block, index, instr in region.instructions():
+        if isinstance(instr, Load):
+            key = pse_key_of_address(function, instr.ptr)
+            if key is not None:
+                accesses.setdefault(key, ([], []))[0].append(
+                    (block, index, instr)
+                )
+        elif isinstance(instr, Store):
+            key = pse_key_of_address(function, instr.ptr)
+            if key is not None:
+                accesses.setdefault(key, ([], []))[1].append(
+                    (block, index, instr)
+                )
+    return accesses
+
+
+def _probe_size_of(loads, stores) -> int:
+    if loads:
+        return 1 if isinstance(loads[0][2].result.ty, ct.CharType) else 8
+    store = stores[0][2]
+    pointee = (store.ptr.ty.pointee
+               if isinstance(store.ptr.ty, ct.PointerType) else ct.INT)
+    return 1 if isinstance(pointee, ct.CharType) else 8
+
+
+def _provably_multi_trip(function: Function, loop: Loop, roi: RoiInfo) -> bool:
+    induction_addr = None
+    if roi.induction_var is not None:
+        alloca = function.var_allocas.get(roi.induction_var.uid)
+        if alloca is not None and not alloca.promoted:
+            induction_addr = alloca.result
+    trip = match_trip_count(function, loop, induction_addr)
+    trips = trip.constant_trips if trip else None
+    return trips is not None and trips >= 2
+
+
+def _unconditional(stores, region: RoiRegion, dom: DominatorInfo) -> bool:
+    """Does at least one of the stores execute on every invocation?  True
+    when its block dominates every ROI exit site."""
+    exit_blocks = [block for block, _ in region.end_sites]
+    for block, _, _ in stores:
+        if all(dom.dominates(block, exit_block) for exit_block in exit_blocks):
+            return True
+    return False
+
+
+def _plan_inner_loop_aggregation(
+    function: Function,
+    region: RoiRegion,
+    points_to: PointsTo,
+    plan: InstrumentationPlan,
+) -> None:
+    """Opt 2: collapse induction-indexed single-site array traffic inside the
+    region into one ranged probe per dynamic invocation."""
+    dom = DominatorInfo(function)
+    loops = find_loops(function, dom)
+    region_blocks = region.blocks
+    exit_blocks = [block for block, _ in region.end_sites]
+    for loop in loops:
+        if not loop.blocks <= region_blocks:
+            continue
+        if loop.preheader is None or loop.preheader not in region_blocks:
+            continue
+        anchor = loop.preheader.terminator
+        if anchor is None:
+            continue
+        # The inner loop must run on every invocation for "same operation at
+        # every dynamic invocation" to hold.
+        if not all(dom.dominates(loop.preheader, e) for e in exit_blocks):
+            continue
+        trip = match_trip_count(function, loop, None)
+        if trip is None:
+            continue
+        for probe in _aggregate_candidates(function, region, loop, trip,
+                                           points_to, plan):
+            plan.insertions.setdefault(id(anchor), []).append(probe)
+
+
+def _aggregate_candidates(function, region, loop, trip, points_to, plan):
+    """Find `arr[induction]` single-site accesses eligible for aggregation."""
+    induction_loads = {
+        instr.result.name
+        for block in loop.blocks
+        for instr in block.instrs
+        if isinstance(instr, Load) and instr.ptr is trip.induction_alloca
+    }
+    addr_map: Dict[str, AddrOffset] = {}
+    for block in loop.blocks:
+        for instr in block.instrs:
+            if (isinstance(instr, AddrOffset)
+                    and isinstance(instr.index, Temp)
+                    and instr.index.name in induction_loads
+                    and instr.offset == 0
+                    and instr.scale > 0):
+                addr_map[instr.result.name] = instr
+
+    probes: List[ProbeAccess] = []
+    fn = function.name
+    for addr_name, addr_instr in addr_map.items():
+        users: List[Tuple[str, Instr]] = []
+        for _, _, instr in region.instructions():
+            if isinstance(instr, Load) and isinstance(instr.ptr, Temp) \
+                    and instr.ptr.name == addr_name:
+                users.append(("load", instr))
+            elif isinstance(instr, Store) and isinstance(instr.ptr, Temp) \
+                    and instr.ptr.name == addr_name:
+                users.append(("store", instr))
+        if len(users) != 1:
+            continue
+        kind, access = users[0]
+        # No other in-region access may touch the same array.
+        conflict = False
+        for _, _, other in region.instructions():
+            if other is access:
+                continue
+            if isinstance(other, (Load, Store)):
+                other_base = other.ptr
+                if isinstance(other_base, Temp) and other_base.name == addr_name:
+                    continue
+                if points_to.may_alias(fn, addr_instr.base, fn, other.ptr):
+                    conflict = True
+                    break
+        if conflict:
+            continue
+        base = addr_instr.base
+        if not _available_at(function, base, loop.preheader):
+            continue
+        if trip.bound_const is not None:
+            count: Value = Const(trip.bound_const, ct.INT)
+            extra: List[Instr] = []
+        elif trip.bound_addr is not None and _available_at(
+            function, trip.bound_addr, loop.preheader
+        ):
+            bound_temp = Temp(function.new_temp_name(), ct.INT)
+            extra = [Load(bound_temp, trip.bound_addr, None, access.loc)]
+            count = bound_temp
+        else:
+            continue
+        probes.extend(extra)
+        probes.append(
+            ProbeAccess(
+                AccessKind.WRITE if kind == "store" else AccessKind.READ,
+                base,
+                addr_instr.scale,
+                None,
+                access.loc,
+                count=count,
+                stride=addr_instr.scale,
+            )
+        )
+        plan.suppressed.add(id(access))
+    return probes
+
+
+def _available_at(function: Function, value: Value, block) -> bool:
+    """Is ``value`` usable in ``block`` (defined in a dominating block)?"""
+    if isinstance(value, (Const, GlobalRef, FunctionRef)):
+        return True
+    if isinstance(value, Temp):
+        if value.name.startswith("arg"):
+            return True
+        dom = DominatorInfo(function)
+        for candidate in function.blocks:
+            for instr in candidate.instrs:
+                if instr.result is value:
+                    return dom.dominates(candidate, block)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Opt 1
+# ---------------------------------------------------------------------------
+
+
+def _plan_subsequent_accesses(
+    function: Function,
+    region: RoiRegion,
+    plan: InstrumentationPlan,
+    handled: Set[Tuple],
+) -> None:
+    result = analyze_must_access(function, region)
+    for block, index, instr in region.instructions():
+        if id(instr) in plan.suppressed:
+            continue
+        if isinstance(instr, Load):
+            key = pse_key_of_address(function, instr.ptr)
+            if key in handled:
+                continue
+            if result.load_is_redundant(function, block, index, instr):
+                plan.suppressed.add(id(instr))
+        elif isinstance(instr, Store):
+            key = pse_key_of_address(function, instr.ptr)
+            if key in handled:
+                continue
+            if result.store_is_redundant(function, block, index, instr):
+                plan.suppressed.add(id(instr))
+
+
+def _plan_out_of_roi_suppression(
+    module: Module,
+    callgraph: CallGraph,
+    regions: Dict[int, RoiRegion],
+    plan: InstrumentationPlan,
+) -> None:
+    """Part of opt 5: accesses statically outside every ROI region only
+    matter if they can execute in an ROI's *dynamic* extent — i.e. if the
+    enclosing function is transitively callable from a call site inside
+    some ROI region.  Everything else needs no probes at all."""
+    called_in_roi: Set[str] = set()
+    for region in regions.values():
+        for _, _, instr in region.instructions():
+            if isinstance(instr, Call):
+                target = instr.direct_target
+                if target is None:
+                    called_in_roi |= set(
+                        callgraph.points_to.call_targets(
+                            region.function.name, instr
+                        )
+                    )
+                elif target in module.functions:
+                    called_in_roi.add(target)
+    dynamic_roi_fns = callgraph.transitive_callees(sorted(called_in_roi))
+    regions_by_fn: Dict[str, List[RoiRegion]] = {}
+    for region in regions.values():
+        regions_by_fn.setdefault(region.function.name, []).append(region)
+    for function in module.functions.values():
+        if function.name in dynamic_roi_fns:
+            continue
+        fn_regions = regions_by_fn.get(function.name, [])
+        for block in function.blocks:
+            for index, instr in enumerate(block.instrs):
+                if not isinstance(instr, (Load, Store)):
+                    continue
+                if any(r.contains(block, index) for r in fn_regions):
+                    continue
+                plan.suppressed.add(id(instr))
+                plan.escape_suppressed.add(id(instr))
+
+
+# ---------------------------------------------------------------------------
+# Opt 6
+# ---------------------------------------------------------------------------
+
+
+def _plan_pin_reduction(
+    module: Module, points_to: PointsTo, plan: InstrumentationPlan
+) -> None:
+    """Clear Pin gates on calls that provably never reach precompiled code
+    that touches program memory (pure-math builtins are modelled by the
+    tool's libc knowledge and need no tracing)."""
+    for function in module.functions.values():
+        for block in function.blocks:
+            for instr in block.instrs:
+                if not isinstance(instr, Call):
+                    continue
+                target = instr.direct_target
+                if target is not None:
+                    if target in builtins_spec.BUILTINS:
+                        if not builtins_spec.BUILTINS[target].touches_memory:
+                            plan.pin_cleared.add(id(instr))
+                    else:
+                        plan.pin_cleared.add(id(instr))
+                else:
+                    if not points_to.may_reach_builtin(function.name, instr):
+                        plan.pin_cleared.add(id(instr))
+
+
+def runtime_config_for(
+    policy: InstrumentationPolicy, options: CarmotOptions, **kwargs
+) -> RuntimeConfig:
+    """RuntimeConfig matching a CARMOT build (opt 7 is a runtime knob)."""
+    return RuntimeConfig(
+        policy=policy,
+        callstack_clustering=options.callstack_clustering,
+        **kwargs,
+    )

@@ -1,0 +1,159 @@
+"""Top-level compilation driver: source text → runnable configurations.
+
+Three build modes mirror the evaluation's three measurement subjects:
+
+- **baseline** — the overhead denominator: conventional full optimization
+  ("clang -O3"), no instrumentation;
+- **naive**    — correct PSEC without any PSEC-specific optimization:
+  unoptimized IR, a probe on every access, a Pin gate on every call, no
+  callstack clustering;
+- **carmot**   — the full pipeline of §4.4/§4.5 (individually toggleable
+  for the Figure 8 breakdown).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from repro.ir.lowering import lower_program
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.compiler.carmot import (
+    CarmotBuildInfo,
+    CarmotOptions,
+    apply_carmot,
+)
+from repro.compiler.instrument import (
+    InstrumentationPlan,
+    InstrumentationReport,
+    instrument_module,
+)
+from repro.compiler.o3 import optimize_module_o3
+from repro.runtime.config import (
+    InstrumentationPolicy,
+    RuntimeConfig,
+    naive_policy_for,
+    policy_for,
+)
+from repro.runtime.engine import CarmotHooks, CarmotRuntime
+from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.vm.interpreter import RunResult, run_module
+
+
+class BuildMode(enum.Enum):
+    BASELINE = "baseline"
+    NAIVE = "naive"
+    CARMOT = "carmot"
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled module plus everything needed to run and profile it."""
+
+    module: Module
+    mode: BuildMode
+    policy: Optional[InstrumentationPolicy] = None
+    options: Optional[CarmotOptions] = None
+    build_info: Optional[CarmotBuildInfo] = None
+    report: Optional[InstrumentationReport] = None
+
+    def make_runtime(
+        self,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        **config_kwargs,
+    ) -> Tuple[CarmotRuntime, CarmotHooks]:
+        """A fresh runtime + hooks pair for one profiling run."""
+        if self.mode is BuildMode.BASELINE:
+            raise ValueError("baseline builds are not instrumented")
+        is_carmot = self.mode is BuildMode.CARMOT
+        clustering = (is_carmot and self.options is not None
+                      and self.options.callstack_clustering)
+        config = RuntimeConfig(
+            policy=self.policy,
+            callstack_clustering=clustering,
+            # The co-designed runtime (shadow callstacks + the §4.6
+            # pipeline) belongs to CARMOT; the naive profiler walks the
+            # stack per use and processes events inline.
+            shadow_callstacks=is_carmot,
+            inline_processing=not is_carmot,
+            **config_kwargs,
+        )
+        runtime = CarmotRuntime(self.module, config)
+        return runtime, CarmotHooks(runtime, cost_model)
+
+    def run(
+        self,
+        entry: str = "main",
+        args: Tuple = (),
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        max_instructions: int = 2_000_000_000,
+        **config_kwargs,
+    ):
+        """Run the program; instrumented modes also return the runtime."""
+        if self.mode is BuildMode.BASELINE:
+            result = run_module(self.module, entry, args,
+                                cost_model=cost_model,
+                                max_instructions=max_instructions)
+            return result, None
+        runtime, hooks = self.make_runtime(cost_model, **config_kwargs)
+        result = run_module(self.module, entry, args, hooks=hooks,
+                            cost_model=cost_model,
+                            max_instructions=max_instructions)
+        return result, runtime
+
+
+def frontend(source: str, name: str = "program") -> Module:
+    """Parse, type-check, lower, and verify MiniC source text."""
+    module = lower_program(analyze(parse(source, name)), name)
+    verify_module(module)
+    return module
+
+
+def _resolve_abstraction(module: Module,
+                         abstraction: Optional[str]) -> Optional[str]:
+    if abstraction is not None:
+        return abstraction
+    for roi in module.rois.values():
+        if roi.abstraction is not None:
+            return roi.abstraction
+    return None
+
+
+def compile_baseline(source: str, name: str = "program") -> CompiledProgram:
+    module = frontend(source, name)
+    optimize_module_o3(module)
+    verify_module(module)
+    return CompiledProgram(module, BuildMode.BASELINE)
+
+
+def compile_naive(
+    source: str,
+    abstraction: Optional[str] = None,
+    name: str = "program",
+) -> CompiledProgram:
+    module = frontend(source, name)
+    policy = naive_policy_for(_resolve_abstraction(module, abstraction))
+    report = instrument_module(module, InstrumentationPlan.naive(policy))
+    verify_module(module)
+    return CompiledProgram(module, BuildMode.NAIVE, policy=policy,
+                           report=report)
+
+
+def compile_carmot(
+    source: str,
+    abstraction: Optional[str] = None,
+    options: Optional[CarmotOptions] = None,
+    name: str = "program",
+) -> CompiledProgram:
+    module = frontend(source, name)
+    policy = policy_for(_resolve_abstraction(module, abstraction))
+    options = options or CarmotOptions()
+    info = apply_carmot(module, policy, options)
+    verify_module(module)
+    return CompiledProgram(module, BuildMode.CARMOT, policy=policy,
+                           options=options, build_info=info,
+                           report=info.report)

@@ -1,0 +1,30 @@
+"""Plain-text rendering of experiment results (the paper's figures become
+rows of numbers, like the artifact's ``results/`` text files)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: List[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,48 @@
+"""Three-address IR: values, instructions, modules, lowering, verifier."""
+
+from repro.ir.instructions import (
+    AccessKind,
+    AddrOffset,
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Instr,
+    Jump,
+    Load,
+    OmpBarrier,
+    OmpRegionBegin,
+    OmpRegionEnd,
+    ProbeAccess,
+    ProbeClassify,
+    ProbeEscape,
+    Ret,
+    RoiBegin,
+    RoiEnd,
+    SourceLoc,
+    Store,
+    VarInfo,
+)
+from repro.ir.lowering import lower_program
+from repro.ir.module import Block, Function, GlobalVariable, Module, RoiInfo
+from repro.ir.values import (
+    Const,
+    FunctionRef,
+    GlobalRef,
+    Temp,
+    Value,
+    const_float,
+    const_int,
+)
+from repro.ir.verifier import verify_module
+
+__all__ = [
+    "AccessKind", "AddrOffset", "Alloca", "BinOp", "Branch", "Call", "Cast",
+    "Instr", "Jump", "Load", "OmpBarrier", "OmpRegionBegin", "OmpRegionEnd",
+    "ProbeAccess", "ProbeClassify", "ProbeEscape", "Ret", "RoiBegin",
+    "RoiEnd", "SourceLoc", "Store", "VarInfo", "lower_program", "Block",
+    "Function", "GlobalVariable", "Module", "RoiInfo", "Const",
+    "FunctionRef", "GlobalRef", "Temp", "Value", "const_float", "const_int",
+    "verify_module",
+]

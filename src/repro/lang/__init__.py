@@ -1,0 +1,19 @@
+"""MiniC front-end: lexer, parser, pragmas, types, semantic analysis."""
+
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.pragmas import CarmotRoi, OmpPragma, Pragma, parse_pragma
+from repro.lang.sema import SemaResult, Symbol, SymbolKind, analyze
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "parse_pragma",
+    "Pragma",
+    "CarmotRoi",
+    "OmpPragma",
+    "analyze",
+    "SemaResult",
+    "Symbol",
+    "SymbolKind",
+]

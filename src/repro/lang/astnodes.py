@@ -1,0 +1,268 @@
+"""Abstract syntax tree for MiniC.
+
+Nodes are plain dataclasses.  Statements carry the list of pragmas that
+immediately preceded them in the source (``#pragma carmot roi`` marks a
+Region Of Interest; ``#pragma omp`` records the benchmark's original
+parallelism).  Expressions get a ``ctype`` attribute filled in by semantic
+analysis (:mod:`repro.lang.sema`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.lang.pragmas import Pragma
+from repro.lang.tokens import SourcePos
+from repro.lang.types import Type
+
+
+@dataclass
+class Node:
+    pos: SourcePos
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions; ``ctype`` is set by semantic analysis."""
+
+    ctype: Optional[Type] = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary arithmetic/comparison/logical operator.
+
+    ``&&``/``||`` short-circuit and are lowered to control flow.
+    """
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # one of -, !, ~, +
+    operand: Expr
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment; ``op`` is ``=`` or a compound operator like ``+=``."""
+
+    op: str
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class IncDec(Expr):
+    op: str  # ++ or --
+    target: Expr
+    is_prefix: bool
+
+
+@dataclass
+class Call(Expr):
+    callee: Expr
+    args: List[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    base: Expr
+    name: str
+    arrow: bool
+
+
+@dataclass
+class AddressOf(Expr):
+    operand: Expr
+
+
+@dataclass
+class Deref(Expr):
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    target: Union[Type, Expr]
+
+
+@dataclass
+class Cast(Expr):
+    to_type: Type
+    operand: Expr
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary ``cond ? a : b``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pragmas: List[Pragma] = field(default_factory=list, init=False, compare=False)
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt]
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A single local variable declaration (``int x = e;``)."""
+
+    var_type: Type
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass
+class DeclGroup(Stmt):
+    """Several VarDecls from one source statement (``int x, y;``).
+
+    Unlike :class:`Block`, a DeclGroup does not open a new scope.
+    """
+
+    decls: List["VarDecl"]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class StructDef(Node):
+    name: str
+    fields: List[Tuple[str, Type]]
+
+
+@dataclass
+class GlobalVar(Node):
+    var_type: Type
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass
+class Param(Node):
+    param_type: Type
+    name: str
+
+
+@dataclass
+class FunctionDef(Node):
+    return_type: Type
+    name: str
+    params: List[Param]
+    body: Optional[Block]  # None for extern declarations
+
+
+@dataclass
+class Program(Node):
+    structs: List[StructDef]
+    globals: List[GlobalVar]
+    functions: List[FunctionDef]
+
+    def function(self, name: str) -> FunctionDef:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)

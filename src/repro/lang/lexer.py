@@ -1,0 +1,199 @@
+"""Lexer for MiniC.
+
+The lexer is a straightforward hand-written scanner.  The only unusual
+feature is ``#pragma`` handling: a pragma directive occupies the rest of its
+line and is emitted as a single :class:`~repro.lang.tokens.Token` of kind
+``PRAGMA`` whose value is the directive body (the text after ``#pragma``).
+The parser attaches pragma tokens to the statement that follows them, just
+as clang associates ``#pragma omp``/``#pragma carmot`` with the next
+statement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import LexError
+from repro.lang.tokens import KEYWORDS, PUNCTUATORS, SourcePos, Token, TokenKind
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+class Lexer:
+    """Converts MiniC source text into a token stream."""
+
+    def __init__(self, source: str, filename: str = "<string>") -> None:
+        self._src = source
+        self._filename = filename
+        self._index = 0
+        self._line = 1
+        self._col = 1
+
+    def tokens(self) -> List[Token]:
+        """Lex the whole input and return the token list (ending in EOF)."""
+        return list(self._iter_tokens())
+
+    def _pos(self) -> SourcePos:
+        return SourcePos(self._filename, self._line, self._col)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._index + offset
+        if index >= len(self._src):
+            return ""
+        return self._src[index]
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._src[self._index : self._index + count]
+        for ch in text:
+            if ch == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+        self._index += count
+        return text
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            pos = self._pos()
+            ch = self._peek()
+            if not ch:
+                yield Token(TokenKind.EOF, None, pos)
+                return
+            if ch == "#":
+                yield self._lex_directive(pos)
+            elif ch.isalpha() or ch == "_":
+                yield self._lex_word(pos)
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._lex_number(pos)
+            elif ch == '"':
+                yield self._lex_string(pos)
+            elif ch == "'":
+                yield self._lex_char(pos)
+            else:
+                yield self._lex_punct(pos)
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch and ch.isspace():
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._pos()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if not self._peek():
+                        raise LexError(f"unterminated block comment at {start}")
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _lex_directive(self, pos: SourcePos) -> Token:
+        line_start = self._index
+        while self._peek() and self._peek() != "\n":
+            self._advance()
+        text = self._src[line_start : self._index].strip()
+        if not text.startswith("#pragma"):
+            raise LexError(f"unsupported directive {text.split()[0]!r} at {pos}")
+        body = text[len("#pragma") :].strip()
+        if not body:
+            raise LexError(f"empty #pragma at {pos}")
+        return Token(TokenKind.PRAGMA, body, pos)
+
+    def _lex_word(self, pos: SourcePos) -> Token:
+        start = self._index
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._src[start : self._index]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, pos)
+
+    def _lex_number(self, pos: SourcePos) -> Token:
+        start = self._index
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self._src[start : self._index]
+            return Token(TokenKind.INT_LIT, int(text, 16), pos)
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit() or (self._peek(1) in ("+", "-") and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in ("+", "-"):
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self._src[start : self._index]
+        if is_float:
+            return Token(TokenKind.FLOAT_LIT, float(text), pos)
+        return Token(TokenKind.INT_LIT, int(text), pos)
+
+    def _lex_string(self, pos: SourcePos) -> Token:
+        self._advance()
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise LexError(f"unterminated string literal at {pos}")
+            if ch == '"':
+                self._advance()
+                return Token(TokenKind.STRING_LIT, "".join(chars), pos)
+            if ch == "\\":
+                self._advance()
+                esc = self._advance()
+                if esc not in _ESCAPES:
+                    raise LexError(f"unknown escape \\{esc} at {pos}")
+                chars.append(_ESCAPES[esc])
+            else:
+                chars.append(self._advance())
+
+    def _lex_char(self, pos: SourcePos) -> Token:
+        self._advance()
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            esc = self._advance()
+            if esc not in _ESCAPES:
+                raise LexError(f"unknown escape \\{esc} at {pos}")
+            value = ord(_ESCAPES[esc])
+        else:
+            value = ord(self._advance())
+        if self._peek() != "'":
+            raise LexError(f"unterminated char literal at {pos}")
+        self._advance()
+        return Token(TokenKind.CHAR_LIT, value, pos)
+
+    def _lex_punct(self, pos: SourcePos) -> Token:
+        for punct in PUNCTUATORS:
+            if self._src.startswith(punct, self._index):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, pos)
+        raise LexError(f"unexpected character {self._peek()!r} at {pos}")
+
+
+def tokenize(source: str, filename: str = "<string>") -> List[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source, filename).tokens()

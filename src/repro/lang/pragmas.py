@@ -1,0 +1,190 @@
+"""Parsing of ``#pragma`` directives.
+
+Two pragma families matter to this reproduction:
+
+``#pragma carmot roi [clauses]``
+    Marks the next statement as a Region Of Interest for PSEC, exactly like
+    the ``#pragma carmot roi`` of Figure 1 in the paper.  Clauses:
+
+    - ``abstraction(parallel_for | task | smart_pointers | stats)`` — the
+      abstraction the programmer wants a recommendation for;
+    - ``name(identifier)`` — an optional human-readable ROI name.
+
+``#pragma omp <directive> [clauses]``
+    Records the *original* OpenMP parallelism of the benchmark ports so the
+    Figure 6 harness can compare hand-written pragmas against
+    CARMOT-generated ones.  Supported directives: ``parallel for``,
+    ``parallel``, ``parallel sections``, ``section``, ``critical``,
+    ``ordered``, ``task``, ``barrier``, ``master``.  Clauses: ``private``,
+    ``firstprivate``, ``lastprivate``, ``shared``, ``reduction(op:var)``,
+    ``depend(in: ...)``, ``depend(out: ...)``, ``num_threads(n)``,
+    ``ordered``, ``schedule(...)`` (parsed, ignored by the simulator).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PragmaError
+
+#: Abstractions a ``carmot roi`` pragma may request, matching §3.2.
+CARMOT_ABSTRACTIONS = (
+    "parallel_for",
+    "task",
+    "smart_pointers",
+    "stats",
+)
+
+OMP_DIRECTIVES = (
+    "parallel for",
+    "parallel sections",
+    "parallel",
+    "section",
+    "critical",
+    "ordered",
+    "task",
+    "barrier",
+    "master",
+)
+
+#: OpenMP reduction operators CARMOT recognises (§3.2: "one of the
+#: OpenMP-supported reduction operators such as +").
+REDUCTION_OPERATORS = ("+", "*", "-", "&", "|", "^", "&&", "||", "min", "max")
+
+
+@dataclass
+class Pragma:
+    """Base class for parsed pragmas."""
+
+    raw: str
+
+
+@dataclass
+class CarmotRoi(Pragma):
+    abstraction: Optional[str] = None
+    name: Optional[str] = None
+
+
+@dataclass
+class OmpPragma(Pragma):
+    directive: str = ""
+    private: List[str] = field(default_factory=list)
+    firstprivate: List[str] = field(default_factory=list)
+    lastprivate: List[str] = field(default_factory=list)
+    shared: List[str] = field(default_factory=list)
+    reductions: List[Tuple[str, str]] = field(default_factory=list)  # (op, var)
+    depend_in: List[str] = field(default_factory=list)
+    depend_out: List[str] = field(default_factory=list)
+    num_threads: Optional[int] = None
+    has_ordered_clause: bool = False
+
+
+_CLAUSE_RE = re.compile(r"([A-Za-z_]+)\s*(\(([^()]*)\))?")
+
+
+def parse_pragma(body: str) -> Pragma:
+    """Parse the text after ``#pragma`` into a structured pragma."""
+    stripped = body.strip()
+    if stripped.startswith("carmot"):
+        return _parse_carmot(stripped)
+    if stripped.startswith("omp"):
+        return _parse_omp(stripped)
+    raise PragmaError(f"unknown pragma family: #pragma {stripped}")
+
+
+def _parse_carmot(body: str) -> CarmotRoi:
+    rest = body[len("carmot") :].strip()
+    if not rest.startswith("roi"):
+        raise PragmaError(f"expected 'roi' after 'carmot' in #pragma {body}")
+    rest = rest[len("roi") :].strip()
+    pragma = CarmotRoi(raw=body)
+    for match in _CLAUSE_RE.finditer(rest):
+        clause, _, arg = match.group(1), match.group(2), match.group(3)
+        if not clause:
+            continue
+        if clause == "abstraction":
+            if arg is None or arg.strip() not in CARMOT_ABSTRACTIONS:
+                raise PragmaError(
+                    f"abstraction clause needs one of {CARMOT_ABSTRACTIONS}, "
+                    f"got {arg!r}"
+                )
+            pragma.abstraction = arg.strip()
+        elif clause == "name":
+            if not arg:
+                raise PragmaError("name clause needs an identifier argument")
+            pragma.name = arg.strip()
+        else:
+            raise PragmaError(f"unknown carmot roi clause {clause!r}")
+    return pragma
+
+
+def _split_vars(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _parse_omp(body: str) -> OmpPragma:
+    rest = body[len("omp") :].strip()
+    directive = None
+    for candidate in OMP_DIRECTIVES:
+        if rest == candidate or rest.startswith(candidate + " "):
+            directive = candidate
+            rest = rest[len(candidate) :].strip()
+            break
+    if directive is None:
+        raise PragmaError(f"unknown omp directive in #pragma {body}")
+    pragma = OmpPragma(raw=body, directive=directive)
+    for match in _CLAUSE_RE.finditer(rest):
+        clause, paren, arg = match.group(1), match.group(2), match.group(3)
+        if not clause:
+            continue
+        if clause in ("private", "firstprivate", "lastprivate", "shared"):
+            if arg is None:
+                raise PragmaError(f"{clause} clause needs arguments")
+            getattr(pragma, clause).extend(_split_vars(arg))
+        elif clause == "reduction":
+            if arg is None or ":" not in arg:
+                raise PragmaError("reduction clause must be reduction(op:var)")
+            op, _, names = arg.partition(":")
+            op = op.strip()
+            if op not in REDUCTION_OPERATORS:
+                raise PragmaError(f"unsupported reduction operator {op!r}")
+            for name in _split_vars(names):
+                pragma.reductions.append((op, name))
+        elif clause == "depend":
+            if arg is None or ":" not in arg:
+                raise PragmaError("depend clause must be depend(in|out: vars)")
+            kind, _, names = arg.partition(":")
+            kind = kind.strip()
+            if kind == "in":
+                pragma.depend_in.extend(_split_vars(names))
+            elif kind == "out":
+                pragma.depend_out.extend(_split_vars(names))
+            else:
+                raise PragmaError(f"depend kind must be in/out, got {kind!r}")
+        elif clause == "num_threads":
+            if arg is None or not arg.strip().isdigit():
+                raise PragmaError("num_threads clause needs an integer")
+            pragma.num_threads = int(arg.strip())
+        elif clause == "ordered" and paren is None:
+            pragma.has_ordered_clause = True
+        elif clause == "schedule":
+            continue  # accepted, irrelevant to the simulator
+        else:
+            raise PragmaError(f"unknown omp clause {clause!r} in #pragma {body}")
+    return pragma
+
+
+def clause_summary(pragma: OmpPragma) -> Dict[str, object]:
+    """A normalized dict view of an OpenMP pragma, used for comparisons."""
+    return {
+        "directive": pragma.directive,
+        "private": sorted(pragma.private),
+        "firstprivate": sorted(pragma.firstprivate),
+        "lastprivate": sorted(pragma.lastprivate),
+        "shared": sorted(pragma.shared),
+        "reductions": sorted(pragma.reductions),
+        "depend_in": sorted(pragma.depend_in),
+        "depend_out": sorted(pragma.depend_out),
+    }

@@ -1,0 +1,137 @@
+"""Token definitions for the MiniC front-end.
+
+MiniC is the C-like source language this reproduction uses in place of
+C/C++.  It is small but complete enough for PSEC: it has globals, locals,
+pointers, fixed-size arrays, structs, heap allocation, function calls
+(including calls through function pointers), loops, and ``#pragma``
+directives for marking Regions Of Interest and for expressing the
+"original" OpenMP parallelism of the benchmark ports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "ident"
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    STRING_LIT = "string_lit"
+    CHAR_LIT = "char_lit"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    PRAGMA = "pragma"
+    EOF = "eof"
+
+
+#: Reserved words of MiniC.  ``NULL`` is lexed as a keyword so it cannot be
+#: shadowed by a variable, mirroring how the benchmarks use it.
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "void",
+        "char",
+        "struct",
+        "typedef",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "NULL",
+    }
+)
+
+#: Multi-character punctuators, longest first so the lexer can use a greedy
+#: prefix match.
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "?",
+    ":",
+)
+
+
+@dataclass(frozen=True)
+class SourcePos:
+    """A position in a MiniC source file (1-based line and column)."""
+
+    filename: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the literal text for identifiers and punctuators, the
+    decoded value for literals, and the raw directive body (text after
+    ``#pragma``) for pragma tokens.
+    """
+
+    kind: TokenKind
+    value: object
+    pos: SourcePos
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.value == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value == text
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.value!r})@{self.pos}"

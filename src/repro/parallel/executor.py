@@ -1,0 +1,125 @@
+"""Simulated OpenMP execution (the Figure 6 measurement substrate).
+
+The paper runs on a 24-core Xeon; this reproduction schedules profiled
+iteration costs onto simulated threads instead.  The simulator honours the
+semantics of the generated/original pragmas:
+
+- iterations are statically chunked over ``threads``;
+- ``critical`` sections are mutually exclusive; ``ordered`` sections
+  additionally execute in iteration order — either way a serialized chain
+  bounds the makespan (the serialized prefix problem of Figure 2);
+- ``reduction`` runs fully parallel with a per-thread merge at the end;
+- ``parallel sections`` run each section on its own thread; ``master`` /
+  ``barrier``-adjacent code stays serial.
+
+Parallel-region startup and per-iteration scheduling overheads keep tiny
+loops from showing fantasy speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ParallelMachine:
+    """The simulated shared-memory machine (paper: 2x12-core Xeon)."""
+
+    threads: int = 16
+    region_startup: int = 150
+    per_iteration_overhead: int = 2
+    reduction_merge_per_thread: int = 12
+    critical_handoff: int = 6
+
+
+DEFAULT_MACHINE = ParallelMachine()
+
+
+def simulate_parallel_for(
+    iteration_costs: Sequence[int],
+    serial_costs: Optional[Sequence[int]] = None,
+    serial_fraction: float = 0.0,
+    ordered: bool = False,
+    has_reduction: bool = False,
+    machine: ParallelMachine = DEFAULT_MACHINE,
+) -> int:
+    """Makespan of one parallel loop execution.
+
+    ``serial_costs`` gives per-iteration serialized cost when measured via
+    markers; otherwise ``serial_fraction`` of each iteration serializes.
+    ``ordered`` forces the serialized chunks to run in iteration order.
+    """
+    n = len(iteration_costs)
+    if n == 0:
+        return 0
+    threads = max(1, machine.threads)
+    thread_time = [0] * threads
+    chain_end = 0  # critical/ordered availability
+    chunk = max(1, n // threads)
+    # Loops with serialized sections use round-robin (schedule(static,1))
+    # placement: block-chunking an ordered loop serializes entire chunks.
+    any_serial = (serial_fraction > 0
+                  or (serial_costs is not None and any(serial_costs)))
+    for k, cost in enumerate(iteration_costs):
+        if any_serial:
+            tid = k % threads
+        else:
+            tid = min((k // chunk), threads - 1)
+        if serial_costs is not None:
+            serial = min(serial_costs[k], cost)
+        else:
+            serial = int(cost * serial_fraction)
+        parallel_part = cost - serial + machine.per_iteration_overhead
+        ready = thread_time[tid] + parallel_part
+        if serial > 0:
+            start = max(ready, chain_end) + machine.critical_handoff
+            done = start + serial
+            chain_end = done
+            thread_time[tid] = done
+        else:
+            thread_time[tid] = ready
+    makespan = max(thread_time) + machine.region_startup
+    if has_reduction:
+        makespan += machine.reduction_merge_per_thread * threads
+    return makespan
+
+
+def simulate_sections(
+    section_costs: Sequence[int],
+    serial_extra: int = 0,
+    machine: ParallelMachine = DEFAULT_MACHINE,
+) -> int:
+    """Makespan of one ``parallel sections`` region (each section is a
+    unit of work; more sections than threads queue up)."""
+    if not section_costs:
+        return serial_extra + machine.region_startup
+    threads = max(1, machine.threads)
+    load = [0] * threads
+    for cost in sorted(section_costs, reverse=True):
+        tid = load.index(min(load))
+        load[tid] += cost
+    return max(load) + serial_extra + machine.region_startup
+
+
+def program_speedup(
+    total_serial_cost: int,
+    replaced_regions: List[dict],
+) -> float:
+    """Whole-program speedup when each profiled region is replaced by its
+    simulated parallel execution.
+
+    ``replaced_regions``: dicts with ``serial`` (the region's cost in the
+    sequential run) and ``parallel`` (its simulated makespan).
+    """
+    if total_serial_cost <= 0:
+        return 1.0
+    remaining = total_serial_cost
+    parallel_total = 0
+    for region in replaced_regions:
+        remaining -= min(region["serial"], remaining)
+        parallel_total += region["parallel"]
+    parallel_time = remaining + parallel_total
+    if parallel_time <= 0:
+        return 1.0
+    return total_serial_cost / parallel_time

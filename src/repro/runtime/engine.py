@@ -1,0 +1,427 @@
+"""The CARMOT runtime engine and its VM hook adapter.
+
+:class:`CarmotRuntime` owns the per-ROI PSECs, the ASMT, and the batching
+pipeline; :class:`CarmotHooks` is the :class:`repro.vm.hooks.ExecutionHooks`
+implementation that instrumented modules run with.  The hooks charge
+main-thread costs (event pushes, callstack captures, Pin tracing) per the
+cost model; FSA processing happens in the pipeline and is not charged to
+the program's critical path, modelling the shadow-profiling design of §4.6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import AccessKind, SourceLoc, VarInfo
+from repro.ir.module import Module
+from repro.runtime.asmt import Asmt, AsmtEntry
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.events import (
+    AccessEvent,
+    AllocEvent,
+    ClassifyEvent,
+    EscapeEvent,
+    FreeEvent,
+)
+from repro.runtime.pipeline import Batch, BatchingPipeline
+from repro.runtime.psec import Psec, PseKey
+from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.vm.hooks import ExecutionHooks
+from repro.vm.memory import MemoryObject
+
+
+@dataclass
+class RuntimeStats:
+    """Counters used by tests and the experiment harnesses."""
+
+    access_events: int = 0
+    aggregated_events: int = 0
+    classify_events: int = 0
+    alloc_events: int = 0
+    escape_events: int = 0
+    pin_accesses: int = 0
+    pin_attaches: int = 0
+    callstack_captures: int = 0
+    events_ignored_outside_roi: int = 0
+
+
+class CarmotRuntime:
+    """Builds one PSEC per ROI from the event stream."""
+
+    def __init__(self, module: Module, config: Optional[RuntimeConfig] = None):
+        self.module = module
+        self.config = config or RuntimeConfig()
+        self.asmt = Asmt()
+        self.stats = RuntimeStats()
+        self.psecs: Dict[int, Psec] = {}
+        for roi_id, info in module.rois.items():
+            self.psecs[roi_id] = Psec(
+                roi_id=roi_id, roi_name=info.name, abstraction=info.abstraction
+            )
+        self._active: List[Tuple[int, int, int]] = []  # (roi, inv, epoch)
+        self._invocations: Dict[int, int] = {roi_id: 0 for roi_id in module.rois}
+        self._epochs: Dict[int, int] = {roi_id: 0 for roi_id in module.rois}
+        self.pipeline = BatchingPipeline(
+            batch_size=self.config.batch_size,
+            process=self._process_batch,
+            postprocess=self._postprocess_batch,
+            threaded=self.config.threaded,
+            worker_count=self.config.worker_count,
+        )
+
+    # -- ROI lifecycle ------------------------------------------------------
+
+    def roi_begin(self, roi_id: int) -> None:
+        self._invocations[roi_id] += 1
+        self._active.append(
+            (roi_id, self._invocations[roi_id], self._epochs[roi_id])
+        )
+        self.psecs[roi_id].invocations += 1
+
+    def roi_reset(self, roi_id: int) -> None:
+        """A new epoch: the ROI's loop is being entered afresh (§4.2)."""
+        self._epochs[roi_id] += 1
+
+    def roi_end(self, roi_id: int) -> None:
+        for index in range(len(self._active) - 1, -1, -1):
+            if self._active[index][0] == roi_id:
+                del self._active[index]
+                return
+
+    @property
+    def any_roi_active(self) -> bool:
+        return bool(self._active)
+
+    def active_snapshot(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(self._active)
+
+    def finish(self) -> None:
+        self.pipeline.close()
+        for psec in self.psecs.values():
+            psec.check_invariants()
+
+    # -- batch stages --------------------------------------------------------
+
+    def _process_batch(self, batch: Batch) -> Batch:
+        """Worker stage: order-insensitive per-event work.
+
+        Everything order-sensitive (the FSA) lives in postprocess; this
+        stage exists to model the parallelizable portion of Figure 5 and to
+        keep the threaded mode honest (it must not touch shared state).
+        """
+        return batch
+
+    def _postprocess_batch(self, batch: Batch) -> None:
+        for event in batch.events:
+            kind = type(event)
+            if kind is AccessEvent:
+                self._apply_access(event)
+            elif kind is ClassifyEvent:
+                self._apply_classify(event)
+            elif kind is AllocEvent:
+                self._apply_alloc(event)
+            elif kind is EscapeEvent:
+                self._apply_escape(event)
+            elif kind is FreeEvent:
+                self._apply_free(event)
+
+    # -- event application ------------------------------------------------------
+
+    def _keys_for(self, event) -> List[Tuple[PseKey, Optional[VarInfo]]]:
+        if event.var is not None and event.count == 1:
+            return [(("var", event.obj_id), event.var)]
+        keys = []
+        for index in range(event.count):
+            offset = event.offset + index * (event.stride or event.size)
+            keys.append((("mem", event.obj_id, offset, event.size), event.var))
+        return keys
+
+    def _apply_access(self, event: AccessEvent) -> None:
+        track_uses = self.config.policy.track_use_callstacks
+        for key, var in self._keys_for(event):
+            for roi_id, invocation, epoch in event.active:
+                self.psecs[roi_id].record_access(
+                    key, var, event.is_write, invocation, event.time,
+                    event.loc, event.callstack, track_uses,
+                    self.config.max_use_records, epoch,
+                )
+
+    def _apply_classify(self, event: ClassifyEvent) -> None:
+        for key, var in self._keys_for(event):
+            for roi_id, _, _ in event.active:
+                self.psecs[roi_id].force_classification(
+                    key, var, event.states, event.time
+                )
+
+    def _apply_alloc(self, event: AllocEvent) -> None:
+        self.asmt.register(
+            AsmtEntry(
+                obj_id=event.obj_id,
+                size=event.size,
+                kind=event.kind,
+                var=event.var,
+                alloc_loc=event.loc,
+                alloc_callstack=event.callstack,
+                alloc_time=event.time,
+            )
+        )
+        if self.config.policy.track_reachability:
+            for roi_id, _, _ in event.active:
+                psec = self.psecs[roi_id]
+                psec.allocated_in_roi.add(event.obj_id)
+                psec.reachability.add_node(event.obj_id, True, event.time)
+
+    def _apply_escape(self, event: EscapeEvent) -> None:
+        for roi_id, _, _ in event.active:
+            self.psecs[roi_id].reachability.add_edge(
+                event.src_obj, event.dst_obj, event.src_offset, event.time,
+                str(event.loc) if event.loc else None,
+            )
+
+    def _apply_free(self, event: FreeEvent) -> None:
+        self.asmt.mark_freed(event.obj_id, event.time)
+
+
+class CarmotHooks(ExecutionHooks):
+    """VM hook adapter: records events, charges main-thread costs."""
+
+    def __init__(
+        self,
+        runtime: CarmotRuntime,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.runtime = runtime
+        self.cm = cost_model
+        self.vm = None  # set by the Interpreter
+        #: Per-frame flags for callstack clustering (opt 7): has the current
+        #: function invocation already captured its callstack?
+        self._frame_captured: List[bool] = [False]
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _object_for(self, addr: int) -> Optional[MemoryObject]:
+        obj = self.vm.memory.try_object_at(addr)
+        if obj is not None and obj.obj_id not in self.runtime.asmt:
+            # Globals (and anything else allocated before hooks attach)
+            # enter the ASMT lazily on first observation.
+            self.runtime.asmt.register(
+                AsmtEntry(
+                    obj_id=obj.obj_id,
+                    size=obj.size,
+                    kind=obj.kind,
+                    var=obj.var,
+                    alloc_loc=obj.alloc_loc,
+                    alloc_callstack=obj.alloc_callstack,
+                    alloc_time=obj.alloc_time,
+                )
+            )
+        return obj
+
+    def _callstack_cost(self, depth: int) -> int:
+        return (self.cm.callstack_capture_base
+                + self.cm.callstack_capture_per_frame * depth)
+
+    # -- ROI markers ----------------------------------------------------------
+
+    def on_roi_begin(self, roi_id: int) -> int:
+        self.runtime.roi_begin(roi_id)
+        return self.cm.probe_push
+
+    def on_roi_end(self, roi_id: int) -> int:
+        self.runtime.roi_end(roi_id)
+        return self.cm.probe_push
+
+    def on_roi_reset(self, roi_id: int) -> int:
+        self.runtime.roi_reset(roi_id)
+        return self.cm.probe_push
+
+    # -- access probes -----------------------------------------------------------
+
+    def on_probe_access(self, kind, addr, size, var, count, stride, loc,
+                        callstack) -> int:
+        runtime = self.runtime
+        cost = self.cm.aggregate_probe if count > 1 else self.cm.probe_push
+        if not runtime.any_roi_active:
+            runtime.stats.events_ignored_outside_roi += 1
+            return cost
+        if runtime.config.policy.track_sets:
+            obj = self._object_for(addr)
+            if obj is not None:
+                runtime.stats.access_events += 1
+                if count > 1:
+                    runtime.stats.aggregated_events += 1
+                if runtime.config.policy.track_use_callstacks:
+                    cost += (self.cm.use_callstack_shadow
+                             if runtime.config.shadow_callstacks
+                             else self.cm.use_callstack_walk)
+                if runtime.config.inline_processing:
+                    cost += self.cm.inline_process * max(1, count)
+                runtime.pipeline.push(
+                    AccessEvent(
+                        is_write=kind is AccessKind.WRITE,
+                        obj_id=obj.obj_id,
+                        offset=addr - obj.base,
+                        size=size,
+                        count=count,
+                        stride=stride,
+                        var=var,
+                        loc=loc,
+                        callstack=callstack,
+                        active=runtime.active_snapshot(),
+                        time=self.vm.instructions,
+                    )
+                )
+        return cost
+
+    def on_probe_classify(self, states, addr, size, var, count, stride,
+                          loc, roi_id=None) -> int:
+        runtime = self.runtime
+        if roi_id is not None:
+            active = ((roi_id, 0, 0),)
+        elif runtime.any_roi_active:
+            active = runtime.active_snapshot()
+        else:
+            return self.cm.classify_probe
+        if runtime.config.policy.track_sets:
+            obj = self._object_for(addr)
+            if obj is not None:
+                runtime.stats.classify_events += 1
+                runtime.pipeline.push(
+                    ClassifyEvent(
+                        states=states,
+                        obj_id=obj.obj_id,
+                        offset=addr - obj.base,
+                        size=size,
+                        count=count,
+                        stride=stride,
+                        var=var,
+                        loc=loc,
+                        active=active,
+                        time=self.vm.instructions,
+                    )
+                )
+                if runtime.config.inline_processing:
+                    return (self.cm.classify_probe
+                            + self.cm.inline_process * max(1, count))
+        return self.cm.classify_probe
+
+    def on_probe_escape(self, value_addr, dest_addr, loc) -> int:
+        runtime = self.runtime
+        if not runtime.any_roi_active:
+            return self.cm.escape_event
+        if runtime.config.policy.track_reachability and value_addr != 0:
+            dst = self._object_for(value_addr)
+            src = self._object_for(dest_addr)
+            if dst is not None and src is not None and src is not dst:
+                runtime.stats.escape_events += 1
+                runtime.pipeline.push(
+                    EscapeEvent(
+                        src_obj=src.obj_id,
+                        src_offset=dest_addr - src.base,
+                        dst_obj=dst.obj_id,
+                        loc=loc,
+                        active=runtime.active_snapshot(),
+                        time=self.vm.instructions,
+                    )
+                )
+                if runtime.config.inline_processing:
+                    return self.cm.escape_event + self.cm.inline_process
+        return self.cm.escape_event
+
+    # -- allocations ---------------------------------------------------------------
+
+    def on_alloc(self, obj: MemoryObject) -> int:
+        runtime = self.runtime
+        cost = self.cm.alloc_event
+        if runtime.config.callstack_clustering:
+            # Opt 7: one capture per function invocation, shared by all of
+            # its allocations.
+            if not self._frame_captured[-1]:
+                self._frame_captured[-1] = True
+                cost += self._callstack_cost(len(obj.alloc_callstack))
+                runtime.stats.callstack_captures += 1
+        else:
+            cost += self._callstack_cost(len(obj.alloc_callstack))
+            runtime.stats.callstack_captures += 1
+        runtime.stats.alloc_events += 1
+        runtime.pipeline.push(
+            AllocEvent(
+                obj_id=obj.obj_id,
+                size=obj.size,
+                kind=obj.kind,
+                var=obj.var,
+                loc=obj.alloc_loc,
+                callstack=obj.alloc_callstack,
+                active=runtime.active_snapshot(),
+                time=self.vm.instructions,
+            )
+        )
+        if runtime.config.inline_processing:
+            cost += self.cm.inline_process
+        return cost
+
+    def on_free(self, obj: MemoryObject) -> int:
+        self.runtime.pipeline.push(
+            FreeEvent(obj.obj_id, self.runtime.active_snapshot(),
+                      self.vm.instructions)
+        )
+        return self.cm.alloc_event
+
+    def on_call_enter(self, function_name: str, instrumented: bool) -> int:
+        self._frame_captured.append(False)
+        config = self.runtime.config
+        if (config.shadow_callstacks
+                and config.policy.track_use_callstacks
+                and instrumented):
+            return self.cm.shadow_stack_maintain
+        return 0
+
+    def on_call_exit(self, function_name: str) -> int:
+        if len(self._frame_captured) > 1:
+            self._frame_captured.pop()
+        config = self.runtime.config
+        if config.shadow_callstacks and config.policy.track_use_callstacks:
+            return self.cm.shadow_stack_maintain
+        return 0
+
+    # -- Pin (§4.5) ---------------------------------------------------------------------
+
+    def wants_pin(self) -> bool:
+        return (self.runtime.config.policy.needs_pin
+                and self.runtime.any_roi_active)
+
+    def on_pin_attach(self) -> int:
+        self.runtime.stats.pin_attaches += 1
+        return self.cm.pin_attach
+
+    def on_pin_access(self, kind, addr, size) -> int:
+        runtime = self.runtime
+        granules = max(1, math.ceil(size / 8))
+        runtime.stats.pin_accesses += granules
+        if runtime.config.policy.track_sets:
+            obj = self._object_for(addr)
+            if obj is not None:
+                runtime.pipeline.push(
+                    AccessEvent(
+                        is_write=kind is AccessKind.WRITE,
+                        obj_id=obj.obj_id,
+                        offset=addr - obj.base,
+                        size=min(size, 8),
+                        count=granules,
+                        stride=8,
+                        var=None,
+                        loc=None,
+                        callstack=tuple(self.vm.call_stack),
+                        active=runtime.active_snapshot(),
+                        time=self.vm.instructions,
+                    )
+                )
+        cost = self.cm.pin_per_access * granules
+        if runtime.config.inline_processing:
+            cost += self.cm.inline_process * granules
+        return cost
+
+    def finish(self) -> None:
+        self.runtime.finish()

@@ -1,0 +1,83 @@
+"""Event records flowing from instrumentation into the runtime pipeline.
+
+Events are stamped at record time with the currently-active ROI invocations
+(``active``) and the logical clock, so batches can be processed out of order
+by worker threads without changing the resulting PSEC: the Rf/Wf-vs-Rn/Wn
+decision depends only on the stamped invocation numbers (§4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.ir.instructions import SourceLoc, VarInfo
+
+
+@dataclass
+class AccessEvent:
+    """One (possibly aggregated) PSE access inside at least one active ROI."""
+
+    is_write: bool
+    obj_id: int
+    offset: int
+    size: int
+    count: int
+    stride: int
+    var: Optional[VarInfo]
+    loc: Optional[SourceLoc]
+    callstack: Tuple[str, ...]
+    active: Tuple[Tuple[int, int], ...]  # ((roi_id, invocation), ...)
+    time: int
+
+
+@dataclass
+class ClassifyEvent:
+    """Compile-time-proven classification (opt 3): force set letters."""
+
+    states: str
+    obj_id: int
+    offset: int
+    size: int
+    count: int
+    stride: int
+    var: Optional[VarInfo]
+    loc: Optional[SourceLoc]
+    active: Tuple[Tuple[int, int], ...]
+    time: int
+
+
+@dataclass
+class AllocEvent:
+    """A PSE allocation observed while an ROI is active."""
+
+    obj_id: int
+    size: int
+    kind: str
+    var: Optional[VarInfo]
+    loc: Optional[SourceLoc]
+    callstack: Tuple[str, ...]
+    active: Tuple[Tuple[int, int], ...]
+    time: int
+
+
+@dataclass
+class EscapeEvent:
+    """A pointer to ``dst_obj`` stored into ``src_obj`` at ``src_offset``."""
+
+    src_obj: int
+    src_offset: int
+    dst_obj: int
+    loc: Optional[SourceLoc]
+    active: Tuple[Tuple[int, int], ...]
+    time: int
+
+
+@dataclass
+class FreeEvent:
+    obj_id: int
+    active: Tuple[Tuple[int, int], ...]
+    time: int
+
+
+Event = object  # any of the above dataclasses

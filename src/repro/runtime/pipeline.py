@@ -1,0 +1,150 @@
+"""The batching pipeline of §4.6.
+
+Instrumentation pushes events into the current batch; full batches enter an
+ordered queue.  *Processing* (worker stage: per-event resolution work) may
+run on parallel worker threads; *postprocessing* (applying FSA transitions
+and attaching metadata to PSECs) is order-sensitive and therefore always
+applied in batch sequence order, exactly like the paper's second ordered
+queue feeding the final processing stage.
+
+Two modes:
+
+- deterministic (default): batches are processed synchronously when they
+  fill — bit-identical PSECs, used by tests and experiments;
+- threaded: worker threads drain the filled-batch queue concurrently and a
+  reorder buffer restores sequence order before postprocessing, mirroring
+  the Master/Shadow + Worker structure of Figure 5.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import RuntimeToolError
+
+
+@dataclass
+class Batch:
+    seq: int
+    events: List[object] = field(default_factory=list)
+
+
+class BatchingPipeline:
+    """Order-preserving two-stage batch pipeline.
+
+    ``process`` runs per batch (parallelizable stage); ``postprocess`` runs
+    per batch in sequence order (FSA application).  Exceptions raised in the
+    threaded workers are re-raised on ``close()``.
+    """
+
+    def __init__(
+        self,
+        batch_size: int,
+        process: Callable[[Batch], Batch],
+        postprocess: Callable[[Batch], None],
+        threaded: bool = False,
+        worker_count: int = 2,
+    ) -> None:
+        if batch_size < 1:
+            raise RuntimeToolError("batch_size must be >= 1")
+        self._batch_size = batch_size
+        self._process = process
+        self._postprocess = postprocess
+        self._threaded = threaded
+        self._seq = 0
+        self._current = Batch(seq=0)
+        self.batches_processed = 0
+        self.events_seen = 0
+        self._error: Optional[BaseException] = None
+        if threaded:
+            self._queue: "queue.Queue[Optional[Batch]]" = queue.Queue()
+            self._done_lock = threading.Lock()
+            self._reorder: List = []
+            self._next_post = 0
+            self._workers = [
+                threading.Thread(target=self._worker_loop, daemon=True)
+                for _ in range(max(1, worker_count))
+            ]
+            for worker in self._workers:
+                worker.start()
+
+    # -- producer side -------------------------------------------------------
+
+    def push(self, event: object) -> None:
+        self.events_seen += 1
+        self._current.events.append(event)
+        if len(self._current.events) >= self._batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._current.events:
+            return
+        batch = self._current
+        self._seq += 1
+        self._current = Batch(seq=self._seq)
+        if self._threaded:
+            self._raise_pending()
+            self._queue.put(batch)
+        else:
+            self._postprocess(self._process(batch))
+            self.batches_processed += 1
+
+    def close(self) -> None:
+        """Flush the partial batch and drain all workers."""
+        self.flush()
+        if self._threaded:
+            for _ in self._workers:
+                self._queue.put(None)
+            for worker in self._workers:
+                worker.join()
+            self._drain_reorder(final=True)
+            self._raise_pending()
+
+    # -- threaded internals -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.get()
+            if batch is None:
+                return
+            try:
+                processed = self._process(batch)
+            except BaseException as exc:  # surfaced on close()
+                with self._done_lock:
+                    if self._error is None:
+                        self._error = exc
+                return
+            with self._done_lock:
+                heapq.heappush(self._reorder, (processed.seq, id(processed),
+                                               processed))
+                self._drain_reorder_locked()
+
+    def _drain_reorder(self, final: bool = False) -> None:
+        with self._done_lock:
+            self._drain_reorder_locked()
+            if final and self._reorder and self._error is None:
+                # Sequence gap with no pending batches: a worker died.
+                self._error = RuntimeToolError(
+                    "pipeline closed with unprocessed batches"
+                )
+
+    def _drain_reorder_locked(self) -> None:
+        while self._reorder and self._reorder[0][0] == self._next_post:
+            _, _, batch = heapq.heappop(self._reorder)
+            try:
+                self._postprocess(batch)
+            except BaseException as exc:
+                if self._error is None:
+                    self._error = exc
+                return
+            self.batches_processed += 1
+            self._next_post += 1
+
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error

@@ -1,0 +1,17 @@
+"""MiniC virtual machine: memory model, interpreter, cost model, hooks."""
+
+from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.vm.hooks import ExecutionHooks
+from repro.vm.interpreter import Interpreter, RunResult, run_module
+from repro.vm.memory import Memory, MemoryObject
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "ExecutionHooks",
+    "Interpreter",
+    "RunResult",
+    "run_module",
+    "Memory",
+    "MemoryObject",
+]

@@ -1,0 +1,241 @@
+"""The VM memory model.
+
+A single flat 64-bit-style address space with three bump-allocated regions
+(globals, stack, heap).  Every allocation is a :class:`MemoryObject` backed
+by a ``bytearray``; scalar accesses use little-endian 8-byte ints/doubles
+(1 byte for ``char``), so pointer values are plain Python ints and
+``memcpy``-style byte traffic works across object types.
+
+The memory keeps allocation metadata (site, callstack, logical time) because
+PSEC needs it: the Sets classification reports *where and in which context*
+a PSE was allocated (§3.1), and the smart-pointer use case ranks cycle nodes
+by access time (§3.2).
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MemoryFault
+from repro.lang import types as ct
+from repro.ir.instructions import SourceLoc, VarInfo
+
+GLOBAL_BASE = 0x0001_0000
+STACK_BASE = 0x1000_0000
+HEAP_BASE = 0x4000_0000
+
+_INT = struct.Struct("<q")
+_DOUBLE = struct.Struct("<d")
+
+
+@dataclass
+class MemoryObject:
+    """One allocation: a global, a stack slot, or a heap block."""
+
+    obj_id: int
+    base: int
+    size: int
+    kind: str  # "global" | "stack" | "heap"
+    data: bytearray
+    var: Optional[VarInfo] = None
+    alloc_loc: Optional[SourceLoc] = None
+    alloc_callstack: Tuple[str, ...] = ()
+    alloc_time: int = 0
+    freed: bool = False
+    #: set when free() is called; leak accounting uses alive heap objects.
+    free_time: Optional[int] = None
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+    def __repr__(self) -> str:
+        who = self.var.name if self.var else "?"
+        return f"<obj#{self.obj_id} {self.kind} {who} @{self.base:#x}+{self.size}>"
+
+
+class Memory:
+    """Flat memory with object bookkeeping and bounds/liveness checking."""
+
+    def __init__(self) -> None:
+        # Each segment is bump-allocated, so per-segment base lists stay
+        # sorted even though allocations interleave across segments.
+        self._objects: Dict[str, List[MemoryObject]] = {
+            "global": [], "stack": [], "heap": [],
+        }
+        self._bases: Dict[str, List[int]] = {
+            "global": [], "stack": [], "heap": [],
+        }
+        self._next: Dict[str, int] = {
+            "global": GLOBAL_BASE,
+            "stack": STACK_BASE,
+            "heap": HEAP_BASE,
+        }
+        self._obj_counter = 0
+        self._dead = 0
+        self.clock = 0  # logical time, bumped by the interpreter
+        self.heap_bytes_allocated = 0
+        self.heap_bytes_freed = 0
+
+    @staticmethod
+    def _segment_of(addr: int) -> str:
+        if addr >= HEAP_BASE:
+            return "heap"
+        if addr >= STACK_BASE:
+            return "stack"
+        return "global"
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(
+        self,
+        size: int,
+        kind: str,
+        var: Optional[VarInfo] = None,
+        loc: Optional[SourceLoc] = None,
+        callstack: Tuple[str, ...] = (),
+        zero: bool = True,
+    ) -> MemoryObject:
+        if size < 0:
+            raise MemoryFault(f"negative allocation size {size}")
+        size = max(size, 1)
+        base = self._next[kind]
+        # Pad with a guard byte so adjacent objects are never contiguous and
+        # off-by-one pointers fault instead of silently touching a neighbour.
+        self._next[kind] = base + size + 1
+        self._obj_counter += 1
+        obj = MemoryObject(
+            obj_id=self._obj_counter,
+            base=base,
+            size=size,
+            kind=kind,
+            data=bytearray(size),
+            var=var,
+            alloc_loc=loc,
+            alloc_callstack=callstack,
+            alloc_time=self.clock,
+        )
+        if kind == "heap":
+            self.heap_bytes_allocated += size
+        self._objects[kind].append(obj)
+        self._bases[kind].append(base)
+        return obj
+
+    def free(self, addr: int) -> MemoryObject:
+        obj = self.object_at(addr)
+        if obj.base != addr:
+            raise MemoryFault(f"free of interior pointer {addr:#x} into {obj!r}")
+        if obj.kind != "heap":
+            raise MemoryFault(f"free of non-heap object {obj!r}")
+        obj.freed = True
+        obj.free_time = self.clock
+        self.heap_bytes_freed += obj.size
+        self._dead += 1
+        return obj
+
+    def release_stack_object(self, obj: MemoryObject) -> None:
+        """Called by the interpreter when a frame pops."""
+        obj.freed = True
+        obj.free_time = self.clock
+        self._dead += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if self._dead > 4096 and self._dead * 2 > len(self._objects["stack"]):
+            alive = [o for o in self._objects["stack"] if not o.freed]
+            self._objects["stack"] = alive
+            self._bases["stack"] = [o.base for o in alive]
+            self._dead = 0
+
+    # -- lookup ----------------------------------------------------------------
+
+    def object_at(self, addr: int) -> MemoryObject:
+        segment = self._segment_of(addr)
+        index = bisect.bisect_right(self._bases[segment], addr) - 1
+        if index >= 0:
+            obj = self._objects[segment][index]
+            if obj.contains(addr):
+                if obj.freed:
+                    raise MemoryFault(f"use-after-free at {addr:#x} in {obj!r}")
+                return obj
+        raise MemoryFault(f"invalid address {addr:#x}")
+
+    def try_object_at(self, addr: int) -> Optional[MemoryObject]:
+        """Like :meth:`object_at` but returns None for invalid/freed addrs."""
+        segment = self._segment_of(addr)
+        index = bisect.bisect_right(self._bases[segment], addr) - 1
+        if index >= 0:
+            obj = self._objects[segment][index]
+            if obj.contains(addr) and not obj.freed:
+                return obj
+        return None
+
+    def live_heap_objects(self) -> List[MemoryObject]:
+        return [o for o in self._objects["heap"] if not o.freed]
+
+    @property
+    def leaked_bytes(self) -> int:
+        return self.heap_bytes_allocated - self.heap_bytes_freed
+
+    # -- typed access --------------------------------------------------------------
+
+    @staticmethod
+    def scalar_size(ty: ct.Type) -> int:
+        return 1 if isinstance(ty, ct.CharType) else 8
+
+    def read_scalar(self, addr: int, ty: ct.Type):
+        obj = self.object_at(addr)
+        off = addr - obj.base
+        if isinstance(ty, ct.CharType):
+            self._check(obj, off, 1, addr)
+            return obj.data[off]
+        self._check(obj, off, 8, addr)
+        if isinstance(ty, ct.FloatType):
+            return _DOUBLE.unpack_from(obj.data, off)[0]
+        return _INT.unpack_from(obj.data, off)[0]
+
+    def write_scalar(self, addr: int, value, ty: ct.Type) -> None:
+        obj = self.object_at(addr)
+        off = addr - obj.base
+        if isinstance(ty, ct.CharType):
+            self._check(obj, off, 1, addr)
+            obj.data[off] = int(value) & 0xFF
+            return
+        self._check(obj, off, 8, addr)
+        if isinstance(ty, ct.FloatType):
+            _DOUBLE.pack_into(obj.data, off, float(value))
+        else:
+            _INT.pack_into(obj.data, off, _wrap64(int(value)))
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        obj = self.object_at(addr)
+        off = addr - obj.base
+        self._check(obj, off, size, addr)
+        return bytes(obj.data[off : off + size])
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        obj = self.object_at(addr)
+        off = addr - obj.base
+        self._check(obj, off, len(payload), addr)
+        obj.data[off : off + len(payload)] = payload
+
+    @staticmethod
+    def _check(obj: MemoryObject, off: int, size: int, addr: int) -> None:
+        if off < 0 or off + size > obj.size:
+            raise MemoryFault(
+                f"out-of-bounds access at {addr:#x} (+{size}) in {obj!r}"
+            )
+
+
+def _wrap64(value: int) -> int:
+    """Wrap a Python int into signed 64-bit range, C-style."""
+    value &= (1 << 64) - 1
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value

@@ -1,0 +1,54 @@
+"""The 15-benchmark workload registry (PARSEC + NAS + SPEC ports, §5)."""
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.common import USE_CASES, Workload
+from repro.workloads import nas, parsec, spec
+
+#: Every benchmark of the evaluation, in suite order.
+ALL_WORKLOADS: List[Workload] = [
+    parsec.BLACKSCHOLES,
+    parsec.CANNEAL,
+    parsec.SWAPTIONS,
+    nas.BT,
+    nas.CG,
+    nas.EP,
+    nas.FT,
+    nas.IS,
+    nas.LU,
+    nas.MG,
+    nas.SP,
+    spec.LBM,
+    spec.NAB,
+    spec.XZ,
+    spec.IMAGICK,
+]
+
+_BY_NAME: Dict[str, Workload] = {w.name: w for w in ALL_WORKLOADS}
+
+
+def workload(name: str) -> Workload:
+    if name not in _BY_NAME:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(_BY_NAME)}"
+        )
+    return _BY_NAME[name]
+
+
+def workload_names() -> List[str]:
+    return [w.name for w in ALL_WORKLOADS]
+
+
+def figure6_workloads() -> List[Workload]:
+    return [w for w in ALL_WORKLOADS if w.in_figure6]
+
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "USE_CASES",
+    "Workload",
+    "workload",
+    "workload_names",
+    "figure6_workloads",
+]

@@ -1,0 +1,280 @@
+"""PARSEC 3.0 workload ports: blackscholes, canneal, swaptions.
+
+``blackscholes`` keeps its OpenMP original; ``canneal`` and ``swaptions``
+are pthreads programs in PARSEC, so their original parallelism is expressed
+as ``omp parallel sections`` over per-thread worker calls (the §5.1
+methodology of using the thread entry function as the ROI)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.common import (
+    Workload,
+    loop_pragmas,
+    main_wrapper,
+    sections_block,
+    sub,
+)
+
+_WORKERS = 16
+
+
+def _blackscholes(params: Dict[str, int], use_case: str) -> str:
+    pragmas = loop_pragmas(
+        use_case,
+        "parallel for private(i) shared(sptprice, strike, rate, volatility,"
+        " otime, otype, prices)",
+    )
+    body = """
+  init_options();
+  bs_kernel(@RUNS@);
+  float total = 0.0;
+  for (int i = 0; i < @N@; ++i) total += prices[i];
+  print_float(total);"""
+    return sub(
+        """
+float sptprice[@N@];
+float strike[@N@];
+float rate[@N@];
+float volatility[@N@];
+float otime[@N@];
+int otype[@N@];
+float prices[@N@];
+
+float cnd(float d) {
+  float k = 1.0 / (1.0 + 0.2316419 * fabs(d));
+  float poly = k * (0.31938153 + k * ((0.0 - 0.356563782) + k *
+      (1.781477937 + k * ((0.0 - 1.821255978) + k * 1.330274429))));
+  float w = 1.0 - 0.39894228 * exp(0.0 - d * d / 2.0) * poly;
+  if (d < 0.0) return 1.0 - w;
+  return w;
+}
+
+float price_option(int i) {
+  float s = sptprice[i];
+  float x = strike[i];
+  float r = rate[i];
+  float v = volatility[i];
+  float t = otime[i];
+  float root = v * sqrt(t);
+  float d1 = (log(s / x) + (r + v * v / 2.0) * t) / root;
+  float d2 = d1 - root;
+  float discount = exp(0.0 - r * t);
+  if (otype[i] == 1)
+    return x * discount * (1.0 - cnd(d2)) - s * (1.0 - cnd(d1));
+  return s * cnd(d1) - x * discount * cnd(d2);
+}
+
+void init_options() {
+  rand_seed(1234);
+  for (int i = 0; i < @N@; ++i) {
+    sptprice[i] = 20.0 + 80.0 * rand_float();
+    strike[i] = 20.0 + 80.0 * rand_float();
+    rate[i] = 0.01 + 0.04 * rand_float();
+    volatility[i] = 0.1 + 0.4 * rand_float();
+    otime[i] = 0.25 + 0.75 * rand_float();
+    otype[i] = rand_int(2);
+  }
+}
+
+void bs_kernel(int runs) {
+  for (int run = 0; run < runs; ++run) {
+    @PRAGMAS@
+    for (int i = 0; i < @N@; ++i) {
+      prices[i] = price_option(i);
+    }
+  }
+}
+
+""" + main_wrapper(body, use_case),
+        n=params["n"],
+        runs=params["runs"],
+        pragmas=pragmas,
+    )
+
+
+def _canneal(params: Dict[str, int], use_case: str) -> str:
+    pragmas = loop_pragmas(use_case, "parallel for private(m)")
+    critical = ("#pragma omp critical\n        "
+                if use_case == "openmp" else "")
+    worker_calls = [f"cworker({tid});" for tid in range(_WORKERS)]
+    body = f"""
+  cinit();
+{sections_block(worker_calls) if use_case == "openmp" else "  cserial();"}
+  print_int(accepted);
+  print_int(net_cost());"""
+    return sub(
+        """
+int locx[@ELEMS@];
+int locy[@ELEMS@];
+int netfrom[@NETS@];
+int netto[@NETS@];
+int accepted = 0;
+
+void cinit() {
+  rand_seed(77);
+  for (int e = 0; e < @ELEMS@; ++e) {
+    locx[e] = rand_int(64);
+    locy[e] = rand_int(64);
+  }
+  for (int n = 0; n < @NETS@; ++n) {
+    netfrom[n] = rand_int(@ELEMS@);
+    netto[n] = rand_int(@ELEMS@);
+  }
+}
+
+int net_cost() {
+  int total = 0;
+  for (int n = 0; n < @NETS@; ++n) {
+    total += abs(locx[netfrom[n]] - locx[netto[n]]);
+    total += abs(locy[netfrom[n]] - locy[netto[n]]);
+  }
+  return total;
+}
+
+int swap_delta(int a, int b) {
+  int before = 0;
+  int after = 0;
+  for (int n = 0; n < @NETS@; ++n) {
+    int f = netfrom[n];
+    int t = netto[n];
+    if (f == a || f == b || t == a || t == b) {
+      before += abs(locx[f] - locx[t]) + abs(locy[f] - locy[t]);
+      int fx = locx[f]; int fy = locy[f];
+      int tx = locx[t]; int ty = locy[t];
+      if (f == a) { fx = locx[b]; fy = locy[b]; }
+      if (f == b) { fx = locx[a]; fy = locy[a]; }
+      if (t == a) { tx = locx[b]; ty = locy[b]; }
+      if (t == b) { tx = locx[a]; ty = locy[a]; }
+      after += abs(fx - tx) + abs(fy - ty);
+    }
+  }
+  return after - before;
+}
+
+void cworker(int tid) {
+  @PRAGMAS@
+  for (int m = 0; m < @MOVES@; ++m) {
+    int a = rand_int(@ELEMS@);
+    int b = rand_int(@ELEMS@);
+    int d = swap_delta(a, b);
+    if (d + 6 < 0) {
+      @CRITICAL@{
+        int tx = locx[a]; int ty = locy[a];
+        locx[a] = locx[b]; locy[a] = locy[b];
+        locx[b] = tx; locy[b] = ty;
+        accepted++;
+      }
+    }
+  }
+}
+
+void cserial() {
+  for (int t = 0; t < @WORKERS@; ++t) cworker(t);
+}
+
+""" + main_wrapper(body, use_case),
+        elems=params["elems"],
+        nets=params["nets"],
+        moves=params["moves"],
+        workers=_WORKERS,
+        pragmas=pragmas,
+        critical=critical,
+    )
+
+
+def _swaptions(params: Dict[str, int], use_case: str) -> str:
+    pragmas = loop_pragmas(use_case, "parallel for private(s)")
+    worker_calls = [f"sworker({tid});" for tid in range(_WORKERS)]
+    body = f"""
+  sinit();
+{sections_block(worker_calls) if use_case == "openmp" else "  sserial();"}
+  float total = 0.0;
+  for (int s = 0; s < @N@; ++s) total += results[s];
+  print_float(total);"""
+    return sub(
+        """
+float strikes[@N@];
+float maturities[@N@];
+float results[@N@];
+
+void sinit() {
+  rand_seed(99);
+  for (int s = 0; s < @N@; ++s) {
+    strikes[s] = 0.02 + 0.08 * rand_float();
+    maturities[s] = 1.0 + 9.0 * rand_float();
+    results[s] = 0.0;
+  }
+}
+
+float simulate_swaption(int s) {
+  float payoff = 0.0;
+  float strike = strikes[s];
+  float maturity = maturities[s];
+  for (int trial = 0; trial < @TRIALS@; ++trial) {
+    float rate_path = 0.04;
+    for (int step = 0; step < @STEPS@; ++step) {
+      float shock = rand_float() - 0.5;
+      rate_path = rate_path + 0.001 * shock * sqrt(maturity);
+      if (rate_path < 0.0) rate_path = 0.0;
+    }
+    float gain = rate_path - strike;
+    if (gain > 0.0) payoff += gain;
+  }
+  return payoff / float_of_int(@TRIALS@);
+}
+
+void sworker(int tid) {
+  int chunk = @N@ / @WORKERS@;
+  int begin = tid * chunk;
+  int end = begin + chunk;
+  if (tid == @WORKERS@ - 1) end = @N@;
+  @PRAGMAS@
+  for (int s = begin; s < end; ++s) {
+    results[s] = simulate_swaption(s);
+  }
+}
+
+void sserial() {
+  for (int t = 0; t < @WORKERS@; ++t) sworker(t);
+}
+
+""" + main_wrapper(body, use_case),
+        n=params["n"],
+        trials=params["trials"],
+        steps=params["steps"],
+        workers=_WORKERS,
+        pragmas=pragmas,
+    )
+
+
+BLACKSCHOLES = Workload(
+    name="blackscholes",
+    suite="PARSEC",
+    description="Black-Scholes option pricing over an option portfolio",
+    builder=_blackscholes,
+    test_params={"n": 24, "runs": 1},
+    ref_params={"n": 96, "runs": 6},
+    original_kind="omp",
+)
+
+CANNEAL = Workload(
+    name="canneal",
+    suite="PARSEC",
+    description="simulated-annealing netlist placement (pthreads original)",
+    builder=_canneal,
+    test_params={"elems": 32, "nets": 20, "moves": 5},
+    ref_params={"elems": 64, "nets": 48, "moves": 20},
+    original_kind="sections",
+)
+
+SWAPTIONS = Workload(
+    name="swaptions",
+    suite="PARSEC",
+    description="Monte-Carlo HJM swaption pricing (pthreads original)",
+    builder=_swaptions,
+    test_params={"n": 16, "trials": 6, "steps": 10},
+    ref_params={"n": 32, "trials": 16, "steps": 16},
+    original_kind="sections",
+)

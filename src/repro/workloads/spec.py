@@ -1,0 +1,359 @@
+"""SPEC CPU 2017 workload ports: lbm, nab, xz, imagick.
+
+``nab`` recreates the Figure 9 situation: a molecule/strand/residue/atom
+structure graph whose back-pointers form a reference cycle spanning several
+functions (and, in the original, several files), plus the over-allocation
+the paper mentions — the §5.2 leak experiment measures how many bytes
+breaking the CARMOT-reported cycle reclaims.  Its OpenMP original uses
+``parallel sections`` + ``barrier``, which CARMOT cannot express (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.common import (
+    Workload,
+    loop_pragmas,
+    main_wrapper,
+    sections_block,
+    sub,
+)
+
+_NAB_WORKERS = 16
+
+
+def _lbm(params: Dict[str, int], use_case: str) -> str:
+    pragmas = loop_pragmas(use_case, "parallel for private(c)",
+                           roi_name="collide")
+    copy = loop_pragmas(use_case, "parallel for private(c)",
+                        roi_name="stream")
+    body = """
+  lbm_init();
+  for (int step = 0; step < @STEPS@; ++step) {
+    @PRAGMAS@
+    for (int c = 1; c < @CELLS@ - 1; ++c) {
+      float inflow = 0.5 * src[c] + 0.25 * (src[c - 1] + src[c + 1]);
+      float density = inflow * (1.0 - @OMEGA@) + @OMEGA@ * 0.33;
+      dst[c] = density;
+    }
+    @COPY@
+    for (int c = 0; c < @CELLS@; ++c) src[c] = dst[c];
+  }
+  float mass = 0.0;
+  for (int c = 0; c < @CELLS@; ++c) mass += src[c];
+  print_float(mass);"""
+    return sub(
+        """
+float src[@CELLS@];
+float dst[@CELLS@];
+
+void lbm_init() {
+  rand_seed(17);
+  for (int c = 0; c < @CELLS@; ++c) {
+    src[c] = 0.2 + 0.6 * rand_float();
+    dst[c] = 0.0;
+  }
+}
+
+""" + main_wrapper(body, use_case),
+        cells=params["cells"],
+        steps=params["steps"],
+        omega="0.30",
+        pragmas=pragmas,
+        copy=copy,
+    )
+
+
+def _nab(params: Dict[str, int], use_case: str) -> str:
+    pragmas = loop_pragmas(use_case, "parallel for private(a)")
+    worker_calls = [f"force_chunk({t});" for t in range(_NAB_WORKERS)]
+    if use_case == "openmp":
+        parallel = (
+            sections_block(worker_calls)
+            + "\n  #pragma omp barrier\n  ;\n  reduce_forces();"
+        )
+    else:
+        parallel = "  force_serial();\n  reduce_forces();"
+    body = f"""
+  MOLECULE_T *mol = newmolecule();
+  for (int s = 0; s < @STRANDS@; ++s) addstrand(mol, s);
+  positions_init();
+{parallel}
+  print_int(mol->m_nstrands);
+  print_float(energy);"""
+    return sub(
+        """
+typedef struct atom_t {
+  struct residue_t *a_residue;
+  struct molecule_t *a_molecule;
+  float a_charge;
+} ATOM_T;
+
+typedef struct residue_t {
+  struct strand_t *r_strand;
+  struct atom_t *r_atoms[@ATOMS_PER@];
+  int r_natoms;
+} RESIDUE_T;
+
+typedef struct strand_t {
+  struct molecule_t *s_molecule;
+  struct residue_t *s_residues[@RES_PER@];
+  int s_nresidues;
+} STRAND_T;
+
+typedef struct molecule_t {
+  struct strand_t *m_strands[@STRANDS@];
+  int m_nstrands;
+} MOLECULE_T;
+
+float posx[@NATOMS@];
+float forces[@NATOMS@];
+float partial[@WORKERS@];
+float energy = 0.0;
+
+MOLECULE_T *newmolecule() {
+  MOLECULE_T *mp = (MOLECULE_T*) malloc(sizeof(MOLECULE_T));
+  mp->m_nstrands = 0;
+  return mp;
+}
+
+ATOM_T *newatom(MOLECULE_T *mp, RESIDUE_T *res) {
+  ATOM_T *ap = (ATOM_T*) malloc(sizeof(ATOM_T));
+  ap->a_residue = res;
+  // The back-pointer closing the Figure 9 reference cycle:
+  ap->a_molecule = mp;
+  ap->a_charge = rand_float();
+  // The "naiveness in the original nab code which over allocates": a
+  // scratch buffer per atom that is never freed.
+  char *scratch = malloc(@SCRATCH@);
+  scratch[0] = 1;
+  return ap;
+}
+
+RESIDUE_T *copyresidue(MOLECULE_T *mp, STRAND_T *sp) {
+  RESIDUE_T *res = (RESIDUE_T*) malloc(sizeof(RESIDUE_T));
+  res->r_strand = sp;
+  res->r_natoms = 0;
+  for (int a = 0; a < @ATOMS_PER@; ++a) {
+    res->r_atoms[a] = newatom(mp, res);
+    res->r_natoms = res->r_natoms + 1;
+  }
+  return res;
+}
+
+int addstrand(MOLECULE_T *mp, int sname) {
+  STRAND_T *sp = (STRAND_T*) malloc(sizeof(STRAND_T));
+  sp->s_molecule = mp;
+  sp->s_nresidues = 0;
+  for (int r = 0; r < @RES_PER@; ++r) {
+    sp->s_residues[r] = copyresidue(mp, sp);
+    sp->s_nresidues = sp->s_nresidues + 1;
+  }
+  mp->m_strands[mp->m_nstrands] = sp;
+  mp->m_nstrands = mp->m_nstrands + 1;
+  return sname;
+}
+
+void positions_init() {
+  rand_seed(19);
+  for (int a = 0; a < @NATOMS@; ++a) {
+    posx[a] = rand_float() * 10.0;
+    forces[a] = 0.0;
+  }
+}
+
+int pairlist[@NATOMS@];
+
+void force_chunk(int tid) {
+  int chunk = @NATOMS@ / @WORKERS@;
+  int begin = tid * chunk;
+  int end = begin + chunk;
+  if (tid == @WORKERS@ - 1) end = @NATOMS@;
+  // Neighbour-list construction: parallel only through the original
+  // sections/barrier structure, which CARMOT cannot express (§5.1) — no
+  // ROI covers it, so generated pragmas leave it serial.
+  for (int a = begin; a < end; ++a) {
+    int near = 0;
+    for (int b = 0; b < @NATOMS@; ++b) {
+      if (fabs(posx[a] - posx[b]) < 2.5) near = near + 1;
+    }
+    pairlist[a] = near;
+  }
+  float acc = 0.0;
+  @PRAGMAS@
+  for (int a = begin; a < end; ++a) {
+    float f = 0.0;
+    for (int b = 0; b < @NATOMS@; ++b) {
+      float d = fabs(posx[a] - posx[b]) + 0.1;
+      f += 1.0 / (d * d);
+    }
+    forces[a] = f;
+    acc += f;
+  }
+  partial[tid] = partial[tid] + acc;
+}
+
+void force_serial() {
+  for (int t = 0; t < @WORKERS@; ++t) force_chunk(t);
+}
+
+void reduce_forces() {
+  for (int t = 0; t < @WORKERS@; ++t) energy += partial[t];
+}
+
+""" + main_wrapper(body, use_case),
+        strands=params["strands"],
+        res_per=params["res_per"],
+        atoms_per=params["atoms_per"],
+        natoms=max(params["strands"] * params["res_per"]
+                   * params["atoms_per"], _NAB_WORKERS),
+        scratch=params["scratch"],
+        workers=_NAB_WORKERS,
+        pragmas=pragmas,
+    )
+
+
+def _xz(params: Dict[str, int], use_case: str) -> str:
+    pragmas = loop_pragmas(use_case, "parallel for private(blk)")
+    body = """
+  xz_init();
+  @PRAGMAS@
+  for (int blk = 0; blk < @BLOCKS@; ++blk) {
+    compressed[blk] = compress_block(blk);
+  }
+  int total = 0;
+  for (int blk = 0; blk < @BLOCKS@; ++blk) total += compressed[blk];
+  print_int(total);"""
+    return sub(
+        """
+char data[@TOTAL@];
+int compressed[@BLOCKS@];
+
+void xz_init() {
+  rand_seed(29);
+  for (int i = 0; i < @TOTAL@; ++i) {
+    data[i] = rand_int(12) + 65;
+  }
+}
+
+int compress_block(int blk) {
+  int base = blk * @BLOCK@;
+  int emitted = 0;
+  int i = 0;
+  while (i < @BLOCK@) {
+    int best_len = 0;
+    int back = i - @WINDOW@;
+    if (back < 0) back = 0;
+    for (int cand = back; cand < i; ++cand) {
+      int len = 0;
+      while (i + len < @BLOCK@
+             && data[base + cand + len] == data[base + i + len]
+             && len < 16) {
+        len = len + 1;
+      }
+      if (len > best_len) best_len = len;
+    }
+    if (best_len >= 3) {
+      emitted = emitted + 2;
+      i = i + best_len;
+    } else {
+      emitted = emitted + 1;
+      i = i + 1;
+    }
+  }
+  return emitted;
+}
+
+""" + main_wrapper(body, use_case),
+        blocks=params["blocks"],
+        block=params["block"],
+        total=params["blocks"] * params["block"],
+        window=params["window"],
+        pragmas=pragmas,
+    )
+
+
+def _imagick(params: Dict[str, int], use_case: str) -> str:
+    pragmas = loop_pragmas(use_case, "parallel for private(y)")
+    body = """
+  im_init();
+  for (int pass = 0; pass < @PASSES@; ++pass) {
+    @PRAGMAS@
+    for (int y = 1; y < @H@ - 1; ++y) {
+      convolve_row(y);
+    }
+    for (int k = 0; k < @H@ * @W@; ++k) image[k] = blurred[k];
+  }
+  float sum = 0.0;
+  for (int k = 0; k < @H@ * @W@; ++k) sum += image[k];
+  print_float(sum);"""
+    return sub(
+        """
+float image[@SIZE@];
+float blurred[@SIZE@];
+
+void im_init() {
+  rand_seed(37);
+  for (int k = 0; k < @H@ * @W@; ++k) {
+    image[k] = rand_float();
+    blurred[k] = 0.0;
+  }
+}
+
+void convolve_row(int y) {
+  for (int x = 1; x < @W@ - 1; ++x) {
+    float acc = 4.0 * image[y * @W@ + x];
+    acc += image[(y - 1) * @W@ + x] + image[(y + 1) * @W@ + x];
+    acc += image[y * @W@ + x - 1] + image[y * @W@ + x + 1];
+    blurred[y * @W@ + x] = acc / 8.0;
+  }
+}
+
+""" + main_wrapper(body, use_case),
+        h=params["h"],
+        w=params["w"],
+        size=params["h"] * params["w"],
+        passes=params["passes"],
+        pragmas=pragmas,
+    )
+
+
+LBM = Workload(
+    name="lbm",
+    suite="SPEC",
+    description="lattice-Boltzmann stream/collide over a cell line",
+    builder=_lbm,
+    test_params={"cells": 96, "steps": 3},
+    ref_params={"cells": 512, "steps": 10},
+)
+
+NAB = Workload(
+    name="nab",
+    suite="SPEC",
+    description="molecular dynamics with the Figure 9 reference cycle; "
+                "sections+barrier original",
+    builder=_nab,
+    test_params={"strands": 2, "res_per": 2, "atoms_per": 2, "scratch": 64},
+    ref_params={"strands": 4, "res_per": 4, "atoms_per": 4, "scratch": 64},
+    original_kind="sections",
+    unsupported_original=True,
+)
+
+XZ = Workload(
+    name="xz",
+    suite="SPEC",
+    description="LZ-style block compression with a match-finder window",
+    builder=_xz,
+    test_params={"blocks": 4, "block": 24, "window": 8},
+    ref_params={"blocks": 16, "block": 40, "window": 12},
+)
+
+IMAGICK = Workload(
+    name="imagick",
+    suite="SPEC",
+    description="3x3 convolution blur passes over an image",
+    builder=_imagick,
+    test_params={"h": 10, "w": 12, "passes": 2},
+    ref_params={"h": 32, "w": 28, "passes": 8},
+)

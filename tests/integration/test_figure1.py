@@ -1,0 +1,123 @@
+"""Integration test: the paper's Figure 1 worked example (§2.2).
+
+Expected end-to-end behaviour: a and b are shared (Input only), x and i are
+private (x Cloneable, i the privatized induction variable), y lands in the
+Transfer set and — because its update is a division, which is not an OpenMP
+reduction operator — its statement must be wrapped in critical/ordered."""
+
+import pytest
+
+from repro.abstractions import recommend
+from repro.compiler import compile_baseline, compile_carmot, compile_naive
+
+FIGURE1 = """
+int work(int a, int b) {
+  int i, x, y;
+  y = 42;
+  for (i = 0; i < 10; ++i) {
+    #pragma carmot roi abstraction(parallel_for)
+    {
+      x = i / (a + b);
+      y /= a * x + b;
+    }
+  }
+  return y;
+}
+int main() { print_int(work(3, 4)); return 0; }
+"""
+
+
+@pytest.fixture(scope="module")
+def carmot_run():
+    program = compile_carmot(FIGURE1, name="fig1")
+    result, runtime = program.run()
+    return program, result, runtime
+
+
+def _names(psec, keys):
+    return sorted(
+        psec.entries[k].var.name for k in keys
+        if psec.entries[k].var is not None
+    )
+
+
+class TestClassification:
+    def test_a_b_input_only(self, carmot_run):
+        _, _, runtime = carmot_run
+        psec = runtime.psecs[0]
+        sets = psec.sets()
+        assert {"a", "b"} <= set(_names(psec, sets["input"]))
+        for name in ("a", "b"):
+            assert name not in _names(psec, sets["output"])
+            assert name not in _names(psec, sets["transfer"])
+
+    def test_x_cloneable(self, carmot_run):
+        _, _, runtime = carmot_run
+        sets = runtime.psecs[0].sets()
+        assert "x" in _names(runtime.psecs[0], sets["cloneable"])
+
+    def test_y_transfer_input_output(self, carmot_run):
+        """y follows ε -Rf-> I -Wn-> IO -Rf-> TIO exactly as §4.1 traces."""
+        _, _, runtime = carmot_run
+        psec = runtime.psecs[0]
+        y_keys = [k for k, e in psec.entries.items()
+                  if e.var is not None and e.var.name == "y"]
+        assert len(y_keys) == 1
+        assert psec.classification_of(y_keys[0]) == frozenset("TIO")
+
+    def test_i_promoted_out_of_psec(self, carmot_run):
+        """Opt 4 promotes the loop-governing induction variable (§4.4.4)."""
+        _, _, runtime = carmot_run
+        psec = runtime.psecs[0]
+        names = {e.var.name for e in psec.entries.values()
+                 if e.var is not None}
+        assert "i" not in names
+
+
+class TestRecommendation:
+    def test_pragma_text(self, carmot_run):
+        _, _, runtime = carmot_run
+        rec = recommend(runtime, 0)
+        assert rec.pragma_text() == (
+            "#pragma omp parallel for private(i, x) shared(a, b) ordered"
+        )
+
+    def test_y_needs_manual_synchronization(self, carmot_run):
+        _, _, runtime = carmot_run
+        rec = recommend(runtime, 0)
+        assert not rec.reductions  # division is not reducible
+        assert [a.pse_name for a in rec.ordered] == ["y"]
+
+    def test_no_lastprivate(self, carmot_run):
+        """x is dead after the loop: private, not lastprivate (§2.2)."""
+        _, _, runtime = carmot_run
+        rec = recommend(runtime, 0)
+        assert rec.lastprivate == []
+        assert rec.firstprivate == []
+
+
+class TestBuildEquivalence:
+    def test_all_builds_agree_on_output(self):
+        results = []
+        for compiler in (compile_baseline, compile_naive, compile_carmot):
+            result, _ = compiler(FIGURE1, name="fig1").run()
+            results.append((result.output, result.return_value))
+        assert results[0] == results[1] == results[2]
+
+    def test_carmot_cheaper_than_naive(self):
+        naive, _ = compile_naive(FIGURE1, name="fig1").run()
+        carmot, _ = compile_carmot(FIGURE1, name="fig1").run()
+        assert carmot.cost < naive.cost / 2
+
+    def test_naive_and_carmot_sets_agree(self):
+        _, naive_rt = compile_naive(FIGURE1, name="fig1").run()
+        _, carmot_rt = compile_carmot(FIGURE1, name="fig1").run()
+        naive_by_name = {
+            e.var.name: e.letters
+            for e in naive_rt.psecs[0].entries.values()
+            if e.var is not None and e.letters
+        }
+        for entry in carmot_rt.psecs[0].entries.values():
+            if entry.var is None or not entry.letters:
+                continue
+            assert naive_by_name[entry.var.name] == entry.letters

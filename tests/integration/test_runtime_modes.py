@@ -1,0 +1,81 @@
+"""Runtime pipeline modes and multi-run merging.
+
+The threaded batching pipeline (§4.6) must produce exactly the PSEC the
+deterministic mode produces; multi-run merging must follow the §4.2 rules
+on real profiles."""
+
+import pytest
+
+from repro.compiler import compile_carmot, compile_naive
+from repro.runtime import merge_psecs
+from repro.vm import run_module
+from repro.workloads import workload
+
+SOURCE = workload("cg").test_source("openmp")
+
+
+def _run_with(program, **config_kwargs):
+    runtime, hooks = program.make_runtime(**config_kwargs)
+    run_module(program.module, hooks=hooks)
+    return runtime
+
+
+class TestThreadedPipeline:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_threaded_matches_deterministic(self, workers):
+        program = compile_carmot(SOURCE, name="cg")
+        deterministic = _run_with(program, threaded=False, batch_size=64)
+        threaded = _run_with(program, threaded=True, batch_size=64,
+                             worker_count=workers)
+        for roi_id, expected in deterministic.psecs.items():
+            actual = threaded.psecs[roi_id]
+            assert actual.invocations == expected.invocations
+            assert set(actual.entries) == set(expected.entries)
+            for key, entry in expected.entries.items():
+                assert actual.entries[key].letters == entry.letters, key
+
+    def test_small_batches_match_large(self):
+        program = compile_carmot(SOURCE, name="cg")
+        small = _run_with(program, batch_size=2)
+        large = _run_with(program, batch_size=65536)
+        for roi_id, expected in small.psecs.items():
+            actual = large.psecs[roi_id]
+            for key, entry in expected.entries.items():
+                assert actual.entries[key].letters == entry.letters
+
+
+class TestMultiRunMerge:
+    def test_merging_identical_runs_is_idempotent_on_letters(self):
+        program = compile_carmot(SOURCE, name="cg")
+        first = _run_with(program)
+        second = _run_with(program)
+        for roi_id in first.psecs:
+            merged = merge_psecs(first.psecs[roi_id], second.psecs[roi_id])
+            merged.check_invariants()
+            for key, entry in first.psecs[roi_id].entries.items():
+                if entry.letters:
+                    assert merged.classification_of(key) == entry.letters
+
+    def test_merged_invocations_accumulate(self):
+        program = compile_carmot(SOURCE, name="cg")
+        first = _run_with(program)
+        second = _run_with(program)
+        for roi_id in first.psecs:
+            merged = merge_psecs(first.psecs[roi_id], second.psecs[roi_id])
+            assert merged.invocations == (
+                first.psecs[roi_id].invocations
+                + second.psecs[roi_id].invocations
+            )
+
+
+class TestProfilingDeterminism:
+    def test_repeated_runs_identical(self):
+        program = compile_naive(SOURCE, name="cg")
+        a = _run_with(program)
+        b = _run_with(program)
+        for roi_id in a.psecs:
+            sets_a = {k: sorted(map(str, v))
+                      for k, v in a.psecs[roi_id].sets().items()}
+            sets_b = {k: sorted(map(str, v))
+                      for k, v in b.psecs[roi_id].sets().items()}
+            assert sets_a == sets_b

@@ -1,0 +1,88 @@
+"""PSEC soundness across the whole benchmark suite.
+
+The PSEC-specific optimizations must not change what PSEC *means*: on every
+workload, the CARMOT build's classification must match the naive build's
+for every PSE both track.  PSEs only the naive build reports must be
+exactly the variables the selective mem2reg of §4.4.4 legitimately removed
+(induction variables and locals never used in any ROI)."""
+
+import pytest
+
+from repro.compiler import compile_baseline, compile_carmot, compile_naive
+from repro.workloads import ALL_WORKLOADS
+
+FAST = [w for w in ALL_WORKLOADS if w.name not in ("canneal", "ep")]
+
+
+def _canonical_sets(runtime, roi_id):
+    """Classification keyed by human-resolvable PSE identity (object ids
+    differ across builds because promoted allocas shift the counters)."""
+    from repro.abstractions import describe_pse
+
+    psec = runtime.psecs[roi_id]
+    result = {}
+    for key, entry in psec.entries.items():
+        if not entry.letters:
+            continue
+        desc = describe_pse(key, psec, runtime.asmt)
+        if key[0] == "var":
+            canon = ("var", desc.storage, desc.name)
+        else:
+            canon = ("mem", desc.name, desc.alloc_loc)
+        result[canon] = entry.letters
+    return result
+
+
+
+@pytest.mark.parametrize("workload", FAST, ids=lambda w: w.name)
+def test_program_semantics_preserved(workload):
+    source = workload.test_source("openmp")
+    outputs = []
+    for compiler in (compile_baseline, compile_naive, compile_carmot):
+        result, _ = compiler(source, name=workload.name).run()
+        outputs.append(result.output)
+    assert outputs[0] == outputs[1] == outputs[2]
+
+
+@pytest.mark.parametrize("workload", FAST, ids=lambda w: w.name)
+def test_carmot_classification_matches_naive(workload):
+    source = workload.test_source("openmp")
+    _, naive_rt = compile_naive(source, name=workload.name).run()
+    _, carmot_rt = compile_carmot(source, name=workload.name).run()
+    for roi_id in carmot_rt.psecs:
+        carmot_sets = _canonical_sets(carmot_rt, roi_id)
+        naive_sets = _canonical_sets(naive_rt, roi_id)
+        mismatches = [
+            (canon, letters, naive_sets.get(canon))
+            for canon, letters in carmot_sets.items()
+            if canon in naive_sets and naive_sets[canon] != letters
+        ]
+        assert not mismatches, mismatches[:5]
+        missing = [c for c in carmot_sets if c not in naive_sets]
+        assert not missing, missing[:5]
+
+
+@pytest.mark.parametrize("workload", FAST[:6], ids=lambda w: w.name)
+def test_naive_only_pses_are_promoted_variables(workload):
+    """What the CARMOT PSEC drops must be variables (mem2reg targets),
+    never memory PSEs — memory dependences are always preserved."""
+    source = workload.test_source("openmp")
+    _, naive_rt = compile_naive(source, name=workload.name).run()
+    _, carmot_rt = compile_carmot(source, name=workload.name).run()
+    for roi_id in naive_rt.psecs:
+        naive_sets = _canonical_sets(naive_rt, roi_id)
+        carmot_sets = _canonical_sets(carmot_rt, roi_id)
+        for canon in naive_sets:
+            if canon in carmot_sets:
+                continue
+            assert canon[0] == "var", (
+                f"memory PSE {canon} lost by the optimized build"
+            )
+
+
+@pytest.mark.parametrize("workload", FAST[:6], ids=lambda w: w.name)
+def test_psec_invariants_hold(workload):
+    source = workload.test_source("openmp")
+    _, runtime = compile_carmot(source, name=workload.name).run()
+    for psec in runtime.psecs.values():
+        psec.check_invariants()

@@ -1,0 +1,88 @@
+"""Integration test: the STATS Input-Output-State use case (§5.3).
+
+The "authors' manual classification" for the demo kernel is written down
+explicitly; CARMOT's generated classes must match it, and — like the paper's
+finding of author misclassifications — a deliberately over-conservative
+manual classification is shown to contain PSEs CARMOT proves unnecessary to
+copy."""
+
+import pytest
+
+from repro.abstractions import generate_stats, recommend
+from repro.compiler import compile_carmot
+
+SOURCE = """
+float weights[8];
+float best = 1000000.0;
+float last_probe = 0.0;
+
+void anneal(int steps) {
+  for (int s = 0; s < steps; ++s) {
+    #pragma carmot roi abstraction(stats) name(state_dependence)
+    {
+      float probe = 0.0;
+      for (int k = 0; k < 8; ++k) {
+        probe += weights[k] * rand_float();
+      }
+      last_probe = probe;
+      if (probe < best) {
+        best = probe;
+      }
+    }
+  }
+}
+
+int main() {
+  rand_seed(5);
+  for (int k = 0; k < 8; ++k) weights[k] = rand_float();
+  anneal(12);
+  print_float(best);
+  return 0;
+}
+"""
+
+#: What the STATS authors would write by hand for this kernel.
+MANUAL_INPUT = {f"weights[{i}]" for i in range(8)}
+MANUAL_OUTPUT = {"last_probe"}
+MANUAL_STATE = {"best"}
+
+#: An over-conservative manual classification (the kind of author
+#: misclassification §5.3 reports): weights "might change", so it is put in
+#: State, forcing unnecessary copies.
+OVERCONSERVATIVE_STATE = MANUAL_STATE | MANUAL_INPUT
+
+
+@pytest.fixture(scope="module")
+def stats_rec():
+    program = compile_carmot(SOURCE, name="stats_case")
+    _, runtime = program.run()
+    roi_id = next(rid for rid, roi in program.module.rois.items()
+                  if roi.abstraction == "stats")
+    return recommend(runtime, roi_id)
+
+
+class TestGeneratedClasses:
+    def test_input_class_matches_manual(self, stats_rec):
+        assert set(stats_rec.input_class) == MANUAL_INPUT
+
+    def test_output_class_matches_manual(self, stats_rec):
+        assert set(stats_rec.output_class) == MANUAL_OUTPUT
+
+    def test_state_class_matches_manual(self, stats_rec):
+        assert set(stats_rec.state_class) == MANUAL_STATE
+
+    def test_cloneables_become_locals(self, stats_rec):
+        """probe and k live entirely within invocations: the extracted
+        STATS function declares them locally so threads stay independent."""
+        assert {"probe", "k"} <= set(stats_rec.localize)
+
+    def test_finds_overconservative_misclassification(self, stats_rec):
+        """CARMOT proves weights[] needs no State copies — the §5.3
+        'misclassifications with no impact on correctness but extra
+        unnecessary copies'."""
+        unnecessary = OVERCONSERVATIVE_STATE - set(stats_rec.state_class)
+        assert unnecessary == MANUAL_INPUT
+
+    def test_render_lists_all_classes(self, stats_rec):
+        text = stats_rec.render()
+        assert "Input" in text and "Output" in text and "State" in text

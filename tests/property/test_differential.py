@@ -1,0 +1,113 @@
+"""Differential testing: generated MiniC programs vs a Python oracle, and
+the -O3 analogue vs the unoptimized build.
+
+Hypothesis generates small integer expression trees and loop programs; the
+VM's result must match direct Python evaluation, and every optimization
+level must agree with every other."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_baseline, compile_carmot, compile_naive
+from repro.compiler.driver import frontend
+from repro.vm import run_module
+
+
+# -- expression generation ---------------------------------------------------
+
+def _exprs(depth):
+    if depth == 0:
+        return st.one_of(
+            st.integers(-50, 50).map(lambda v: (str(v) if v >= 0
+                                                else f"(0 - {-v})", v)),
+            st.sampled_from([("va", 7), ("vb", -3), ("vc", 11)]),
+        )
+    sub = _exprs(depth - 1)
+
+    def combine(pair):
+        (ltxt, lval), op, (rtxt, rval) = pair
+        if op == "+":
+            return (f"({ltxt} + {rtxt})", lval + rval)
+        if op == "-":
+            return (f"({ltxt} - {rtxt})", lval - rval)
+        if op == "*":
+            return (f"({ltxt} * {rtxt})", lval * rval)
+        if op == "<":
+            return (f"({ltxt} < {rtxt})", 1 if lval < rval else 0)
+        if op == "&":
+            return (f"({ltxt} & {rtxt})", lval & rval)
+        if op == "^":
+            return (f"({ltxt} ^ {rtxt})", lval ^ rval)
+        raise AssertionError(op)
+
+    return st.tuples(sub, st.sampled_from("+-*<&^"), sub).map(combine)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_exprs(3))
+def test_expression_evaluation_matches_python(pair):
+    text, expected = pair
+    source = f"""
+    int main() {{
+      int va = 7; int vb = 0 - 3; int vc = 11;
+      int result = {text};
+      print_int(result);
+      return 0;
+    }}
+    """
+    result = run_module(frontend(source, "fuzz"))
+    assert result.output == [str(expected)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(_exprs(3))
+def test_o3_agrees_with_unoptimized(pair):
+    text, expected = pair
+    source = f"""
+    int compute(int va, int vb, int vc) {{ return {text}; }}
+    int main() {{
+      print_int(compute(7, 0 - 3, 11));
+      return 0;
+    }}
+    """
+    plain = run_module(frontend(source, "fuzz"))
+    optimized, _ = compile_baseline(source, "fuzz").run()
+    assert plain.output == optimized.output == [str(expected)]
+
+
+# -- loop program generation ----------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    trip=st.integers(1, 12),
+    stride=st.integers(1, 3),
+    init=st.integers(-5, 5),
+    update=st.sampled_from(["acc += i", "acc -= i * 2", "acc += arr[i % 8]",
+                            "acc ^= i", "arr[i % 8] += 1"]),
+    guard=st.booleans(),
+)
+def test_loop_programs_consistent_across_builds(trip, stride, init, update,
+                                                guard):
+    body = f"if (i % 2 == 0) {{ {update}; }}" if guard else f"{update};"
+    source = f"""
+    int arr[8];
+    int main() {{
+      for (int k = 0; k < 8; ++k) arr[k] = k;
+      int acc = {init if init >= 0 else f"0 - {-init}"};
+      for (int i = 0; i < {trip * stride}; i = i + {stride}) {{
+        #pragma carmot roi abstraction(parallel_for)
+        {{ {body} }}
+      }}
+      print_int(acc);
+      print_int(arr[3]);
+      return 0;
+    }}
+    """
+    outputs = []
+    for compiler in (compile_baseline, compile_naive, compile_carmot):
+        result, runtime = compiler(source, name="fuzzloop").run()
+        outputs.append(result.output)
+        if runtime is not None:
+            for psec in runtime.psecs.values():
+                psec.check_invariants()
+    assert outputs[0] == outputs[1] == outputs[2]

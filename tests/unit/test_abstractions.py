@@ -1,0 +1,222 @@
+"""Unit tests for the abstraction recommendation generators (§3.2)."""
+
+import pytest
+
+from repro.abstractions import recommend
+from repro.compiler import compile_carmot
+from repro.errors import RecommendationError
+
+
+def run(source, abstraction=None):
+    program = compile_carmot(source, abstraction, name="t")
+    _, runtime = program.run()
+    return program, runtime
+
+
+class TestParallelFor:
+    def test_reduction_detected_for_sum(self):
+        _, rt = run(
+            """
+            float total(float *v, int n) {
+              float acc = 0.0;
+              for (int i = 0; i < 50; ++i) {
+                #pragma carmot roi abstraction(parallel_for)
+                { acc += v[i]; }
+              }
+              return acc;
+            }
+            int main() {
+              float data[50];
+              for (int i = 0; i < 50; ++i) data[i] = 1.0;
+              print_float(total(data, 50));
+              return 0;
+            }
+            """
+        )
+        rec = recommend(rt, 0)
+        assert rec.reductions == [("+", "acc")]
+        assert not rec.ordered
+
+    def test_product_reduction(self):
+        _, rt = run(
+            """
+            int main() {
+              int fact = 1;
+              for (int i = 1; i <= 8; ++i) {
+                #pragma carmot roi abstraction(parallel_for)
+                { fact *= i; }
+              }
+              print_int(fact);
+              return 0;
+            }
+            """
+        )
+        rec = recommend(rt, 0)
+        assert rec.reductions == [("*", "fact")]
+
+    def test_non_reducible_update_goes_ordered(self):
+        _, rt = run(
+            """
+            int main() {
+              int state = 7;
+              for (int i = 0; i < 10; ++i) {
+                #pragma carmot roi abstraction(parallel_for)
+                { state = (state * 31 + i) % 1000; }
+              }
+              print_int(state);
+              return 0;
+            }
+            """
+        )
+        rec = recommend(rt, 0)
+        assert not rec.reductions
+        assert [a.pse_name for a in rec.ordered] == ["state"]
+
+    def test_mixed_operators_not_reducible(self):
+        _, rt = run(
+            """
+            int main() {
+              int acc = 0;
+              for (int i = 0; i < 10; ++i) {
+                #pragma carmot roi abstraction(parallel_for)
+                {
+                  if (i % 2 == 0) acc += i;
+                  else acc *= 2;
+                }
+              }
+              print_int(acc);
+              return 0;
+            }
+            """
+        )
+        rec = recommend(rt, 0)
+        assert not rec.reductions
+        assert rec.ordered
+
+    def test_firstprivate_for_read_then_overwritten(self):
+        """A variable read from outside on the first iteration and then
+        rewritten per iteration is Cloneable+Input -> firstprivate."""
+        _, rt = run(
+            """
+            int main() {
+              int seed = 5;
+              int out = 0;
+              for (int i = 0; i < 10; ++i) {
+                #pragma carmot roi abstraction(parallel_for)
+                {
+                  if (i > 0) seed = i * 2;
+                  out = seed + 1;
+                }
+              }
+              print_int(out);
+              return 0;
+            }
+            """
+        )
+        rec = recommend(rt, 0)
+        assert "seed" in rec.firstprivate
+
+    def test_lastprivate_for_value_read_after_loop(self):
+        _, rt = run(
+            """
+            int main() {
+              int last = 0;
+              for (int i = 0; i < 10; ++i) {
+                #pragma carmot roi abstraction(parallel_for)
+                { last = i * 3; }
+              }
+              print_int(last);
+              return 0;
+            }
+            """
+        )
+        rec = recommend(rt, 0)
+        assert "last" in rec.lastprivate
+        assert "last" in rec.private
+
+    def test_clone_advice_for_heap_cloneable(self):
+        _, rt = run(
+            """
+            int main() {
+              int *scratch = (int*) malloc(8 * sizeof(int));
+              int sum = 0;
+              for (int i = 0; i < 10; ++i) {
+                #pragma carmot roi abstraction(parallel_for)
+                {
+                  for (int k = 0; k < 8; ++k) scratch[k] = i + k;
+                  sum += scratch[i % 8];
+                }
+              }
+              print_int(sum);
+              free((char*) scratch);
+              return 0;
+            }
+            """
+        )
+        rec = recommend(rt, 0)
+        assert rec.clones
+        assert "omp_get_thread_num" in rec.clones[0].render()
+
+    def test_rejects_non_loop_roi(self):
+        _, rt = run(
+            """
+            int main() {
+              int x = 0;
+              #pragma carmot roi abstraction(parallel_for)
+              { x = 1; }
+              return x;
+            }
+            """
+        )
+        with pytest.raises(RecommendationError):
+            recommend(rt, 0)
+
+
+class TestTask:
+    def test_depend_in_out(self):
+        _, rt = run(
+            """
+            int src[8];
+            int dst[8];
+            int main() {
+              for (int i = 0; i < 8; ++i) src[i] = i;
+              for (int r = 0; r < 3; ++r) {
+                #pragma carmot roi abstraction(task)
+                {
+                  for (int i = 0; i < 8; ++i) dst[i] = src[i] * 2;
+                }
+              }
+              print_int(dst[7]);
+              return 0;
+            }
+            """
+        )
+        rec = recommend(rt, 0)
+        assert any(name.startswith("src") for name in rec.depend_in)
+        assert any(name.startswith("dst") for name in rec.depend_out)
+        assert "#pragma omp task" in rec.pragma_text()
+
+
+class TestErrors:
+    def test_unknown_roi(self):
+        _, rt = run("int main() { return 0; }")
+        with pytest.raises(RecommendationError):
+            recommend(rt, 42)
+
+    def test_roi_without_abstraction_needs_explicit_choice(self):
+        _, rt = run(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 5; ++i) {
+                #pragma carmot roi
+                { s += i; }
+              }
+              return s;
+            }
+            """
+        )
+        with pytest.raises(RecommendationError):
+            recommend(rt, 0)
+        rec = recommend(rt, 0, abstraction="parallel_for")
+        assert rec.reductions == [("+", "s")]

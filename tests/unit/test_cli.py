@@ -1,0 +1,88 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+FIGURE1 = """
+int work(int a, int b) {
+  int i, x, y;
+  y = 42;
+  for (i = 0; i < 10; ++i) {
+    #pragma carmot roi abstraction(parallel_for)
+    { x = i / (a + b); y /= a * x + b; }
+  }
+  return y;
+}
+int main() { print_int(work(3, 4)); return 0; }
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "fig1.mc"
+    path.write_text(FIGURE1)
+    return str(path)
+
+
+class TestRecommend:
+    def test_default_subcommand(self, source_file, capsys):
+        assert main([source_file]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma omp parallel for" in out
+        assert "private(i, x)" in out
+
+    def test_show_output(self, source_file, capsys):
+        assert main(["recommend", source_file, "--show-output"]) == 0
+        assert "program output: 0" in capsys.readouterr().out
+
+    def test_no_rois_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "plain.mc"
+        path.write_text("int main() { return 0; }")
+        assert main(["recommend", str(path)]) == 1
+
+    def test_abstraction_override(self, source_file, capsys):
+        assert main(["recommend", source_file, "--abstraction", "task"]) == 0
+        assert "#pragma omp task" in capsys.readouterr().out
+
+
+class TestPsec:
+    def test_sets_printed(self, source_file, capsys):
+        assert main(["psec", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "input" in out and "transfer" in out
+        assert "10 invocations" in out
+
+
+class TestOverhead:
+    def test_three_rows(self, source_file, capsys):
+        assert main(["overhead", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "baseline cost" in out
+        assert "gap" in out
+
+
+class TestIr:
+    @pytest.mark.parametrize("mode", ["plain", "baseline", "naive", "carmot"])
+    def test_modes(self, source_file, mode, capsys):
+        assert main(["ir", source_file, "--mode", mode]) == 0
+        out = capsys.readouterr().out
+        assert "func work" in out
+        if mode in ("naive", "carmot"):
+            assert "probe." in out
+        if mode == "plain":
+            assert "probe." not in out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["recommend", "/nonexistent/x.mc"]) == 1
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.mc"
+        path.write_text("int main( {")
+        assert main(["recommend", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_help_without_command(self, capsys):
+        assert main([]) == 2

@@ -1,0 +1,140 @@
+"""Unit tests for the runtime engine / VM-hook layer (§4.5–4.6)."""
+
+import pytest
+
+from repro.compiler import compile_carmot, compile_naive
+from repro.compiler.driver import frontend
+from repro.compiler.instrument import InstrumentationPlan, instrument_module
+from repro.runtime import (
+    CarmotHooks,
+    CarmotRuntime,
+    FULL_POLICY,
+    RuntimeConfig,
+)
+from repro.vm import run_module
+
+LIB_HEAVY = """
+int main() {
+  int a[8];
+  int b[8];
+  for (int i = 0; i < 8; ++i) a[i] = 8 - i;
+  for (int rep = 0; rep < 4; ++rep) {
+    #pragma carmot roi abstraction(parallel_for)
+    {
+      memcpy((char*) b, (char*) a, 64);
+      qsort_int(b, 8);
+      float r = sqrt(2.0);
+    }
+  }
+  print_int(b[0]);
+  return 0;
+}
+"""
+
+
+def run_with_config(source, **config_kwargs):
+    module = frontend(source, "t")
+    policy = config_kwargs.pop("policy", FULL_POLICY)
+    instrument_module(module, InstrumentationPlan.naive(policy))
+    config = RuntimeConfig(policy=policy, **config_kwargs)
+    runtime = CarmotRuntime(module, config)
+    hooks = CarmotHooks(runtime)
+    result = run_module(module, hooks=hooks)
+    return result, runtime
+
+
+class TestPinTracing:
+    def test_pin_attaches_only_inside_roi(self):
+        _, runtime = run_with_config(LIB_HEAVY)
+        # 4 invocations x 3 gated builtin calls inside the ROI; the init
+        # loop's accesses are outside any ROI and never attach.
+        assert runtime.stats.pin_attaches == 12
+
+    def test_pin_traces_library_memory_accesses(self):
+        _, runtime = run_with_config(LIB_HEAVY)
+        assert runtime.stats.pin_accesses > 0
+
+    def test_pin_events_feed_the_psec(self):
+        """memcpy writes into b are only visible through Pin (§4.5): the
+        PSEC must still classify b's elements."""
+        _, runtime = run_with_config(LIB_HEAVY)
+        psec = runtime.psecs[0]
+        mem_keys = [k for k in psec.entries if k[0] == "mem"]
+        assert mem_keys
+        written = [k for k in mem_keys
+                   if "O" in psec.entries[k].letters]
+        assert written
+
+    def test_carmot_pin_reduction_vs_naive(self):
+        naive = compile_naive(LIB_HEAVY, name="t")
+        carmot = compile_carmot(LIB_HEAVY, name="t")
+        _, naive_rt = naive.run()
+        _, carmot_rt = carmot.run()
+        # Opt 6 clears the sqrt gate (pure math): fewer attaches.
+        assert carmot_rt.stats.pin_attaches < naive_rt.stats.pin_attaches
+
+
+class TestCallstackClustering:
+    ALLOC_HEAVY = """
+    void burst() {
+      char *a = malloc(8);
+      char *b = malloc(8);
+      char *c = malloc(8);
+      free(a); free(b); free(c);
+    }
+    int main() {
+      for (int i = 0; i < 5; ++i) {
+        #pragma carmot roi abstraction(parallel_for)
+        { burst(); }
+      }
+      return 0;
+    }
+    """
+
+    def test_clustering_shares_captures(self):
+        _, clustered = run_with_config(self.ALLOC_HEAVY,
+                                       callstack_clustering=True)
+        _, naive = run_with_config(self.ALLOC_HEAVY,
+                                   callstack_clustering=False)
+        assert naive.stats.alloc_events == clustered.stats.alloc_events
+        # One capture per burst() invocation vs one per allocation.
+        assert clustered.stats.callstack_captures \
+            < naive.stats.callstack_captures
+
+    def test_clustered_run_is_cheaper(self):
+        r1, _ = run_with_config(self.ALLOC_HEAVY, callstack_clustering=True)
+        r2, _ = run_with_config(self.ALLOC_HEAVY, callstack_clustering=False)
+        assert r1.cost < r2.cost
+
+    def test_asmt_callstacks_preserved_either_way(self):
+        _, runtime = run_with_config(self.ALLOC_HEAVY,
+                                     callstack_clustering=True)
+        heap = [e for e in runtime.asmt.entries().values()
+                if e.kind == "heap"]
+        assert heap
+        for entry in heap:
+            assert entry.alloc_callstack[-1] == "burst"
+
+
+class TestEventFiltering:
+    def test_accesses_outside_roi_ignored(self):
+        source = """
+        int main() {
+          int x = 0;
+          for (int i = 0; i < 50; ++i) x += i;   // no ROI here
+          return x;
+        }
+        """
+        _, runtime = run_with_config(source)
+        assert runtime.stats.access_events == 0
+        assert runtime.stats.events_ignored_outside_roi > 0
+
+    def test_inline_processing_costs_more(self):
+        r_pipe, _ = run_with_config(LIB_HEAVY, inline_processing=False)
+        r_inline, _ = run_with_config(LIB_HEAVY, inline_processing=True)
+        assert r_inline.cost > r_pipe.cost
+
+    def test_shadow_callstacks_cost_less(self):
+        r_shadow, _ = run_with_config(LIB_HEAVY, shadow_callstacks=True)
+        r_walk, _ = run_with_config(LIB_HEAVY, shadow_callstacks=False)
+        assert r_shadow.cost < r_walk.cost

@@ -1,0 +1,147 @@
+"""Unit tests for probe insertion and the CARMOT optimization toggles."""
+
+import pytest
+
+from repro.compiler import CarmotOptions, compile_carmot, compile_naive
+from repro.compiler.driver import frontend
+from repro.compiler.instrument import InstrumentationPlan, instrument_module
+from repro.ir.instructions import Call, ProbeAccess, ProbeClassify, ProbeEscape
+from repro.runtime.config import POLICIES, FULL_POLICY
+
+SOURCE = """
+int shared_total = 0;
+
+int helper(int v) { return v * 2; }
+
+int main() {
+  int x = 1;
+  int *p = (int*) malloc(16);
+  for (int i = 0; i < 6; ++i) {
+    #pragma carmot roi abstraction(parallel_for)
+    {
+      p[i % 2] = helper(x) + i;
+      shared_total += p[i % 2];
+    }
+  }
+  free((char*) p);
+  print_int(shared_total);
+  return 0;
+}
+"""
+
+
+def probes_of(module, kind):
+    return [i for f in module.functions.values()
+            for b in f.blocks for i in b.instrs if isinstance(i, kind)]
+
+
+class TestNaivePlan:
+    def test_every_access_probed(self):
+        module = frontend(SOURCE, "t")
+        report = instrument_module(
+            module, InstrumentationPlan.naive(FULL_POLICY)
+        )
+        assert report.access_probes > 10
+        assert report.suppressed_probes == 0
+
+    def test_all_calls_gated(self):
+        module = frontend(SOURCE, "t")
+        instrument_module(module, InstrumentationPlan.naive(FULL_POLICY))
+        calls = probes_of(module, Call)
+        assert calls
+        assert all(c.pin_gated for c in calls)
+
+    def test_escape_probes_follow_policy(self):
+        module = frontend(SOURCE, "t")
+        instrument_module(
+            module, InstrumentationPlan.naive(POLICIES["parallel_for"])
+        )
+        assert not probes_of(module, ProbeEscape)
+        module2 = frontend(SOURCE, "t")
+        instrument_module(module2, InstrumentationPlan.naive(FULL_POLICY))
+        assert probes_of(module2, ProbeEscape)
+
+    def test_smart_pointer_policy_skips_access_probes(self):
+        module = frontend(SOURCE, "t")
+        report = instrument_module(
+            module, InstrumentationPlan.naive(POLICIES["smart_pointers"])
+        )
+        assert report.access_probes == 0
+        assert probes_of(module, ProbeEscape)
+
+
+class TestCarmotPlan:
+    def test_suppresses_redundant_probes(self):
+        program = compile_carmot(SOURCE, name="t")
+        assert program.report.suppressed_probes > 0
+
+    def test_clears_pin_gates(self):
+        program = compile_carmot(SOURCE, name="t")
+        assert program.report.pin_gates_cleared > 0
+        # helper() is a user function: its gate must be gone.
+        calls = [c for c in probes_of(program.module, Call)
+                 if c.direct_target == "helper"]
+        assert calls and not any(c.pin_gated for c in calls)
+
+    def test_opts_disabled_means_more_probes(self):
+        full = compile_carmot(SOURCE, name="t")
+        none = compile_carmot(SOURCE, options=CarmotOptions.none(), name="t")
+        assert none.report.access_probes > full.report.access_probes
+
+    def test_each_option_toggle_keeps_semantics(self):
+        import dataclasses
+
+        expected, _ = compile_carmot(SOURCE, name="t").run()
+        for field in dataclasses.fields(CarmotOptions):
+            options = CarmotOptions(**{field.name: False})
+            result, _ = compile_carmot(SOURCE, options=options,
+                                       name="t").run()
+            assert result.output == expected.output, field.name
+
+    def test_each_option_never_increases_cost_when_enabled(self):
+        import dataclasses
+
+        base_cost, _ = compile_carmot(
+            SOURCE, options=CarmotOptions.none(), name="t"
+        ).run()
+        for field in dataclasses.fields(CarmotOptions):
+            options = CarmotOptions.none()
+            options = dataclasses.replace(options, **{field.name: True})
+            result, _ = compile_carmot(SOURCE, options=options,
+                                       name="t").run()
+            assert result.cost <= base_cost.cost * 1.02, field.name
+
+
+class TestClassifyProbes:
+    LOOPY = """
+    float data[64];
+    float out[64];
+    int main() {
+      for (int k = 0; k < 64; ++k) data[k] = float_of_int(k);
+      for (int rep = 0; rep < 3; ++rep) {
+        #pragma carmot roi abstraction(parallel_for)
+        for (int i = 0; i < 64; ++i) {
+          out[i] = data[i] * 2.0;
+        }
+      }
+      return 0;
+    }
+    """
+
+    def test_hoisted_classification_emitted(self):
+        program = compile_carmot(self.LOOPY, name="t")
+        assert program.report.classify_probes >= 0
+        # The classification must match a naive profile exactly.
+        _, carmot_rt = program.run()
+        _, naive_rt = compile_naive(self.LOOPY, name="t").run()
+        # Memory PSEs must agree exactly; variables may differ only by the
+        # legitimately-promoted induction variable (opt 4).
+        carmot_sets = {
+            name: len([k for k in keys if k[0] == "mem"])
+            for name, keys in carmot_rt.psecs[0].sets().items()
+        }
+        naive_sets = {
+            name: len([k for k in keys if k[0] == "mem"])
+            for name, keys in naive_rt.psecs[0].sets().items()
+        }
+        assert carmot_sets == naive_sets

@@ -1,0 +1,176 @@
+"""Unit tests for the IR layer: types/layout, verifier, printing, regions."""
+
+import pytest
+
+from repro.errors import IRVerifyError
+from repro.lang import types as ct
+from repro.compiler.driver import frontend
+from repro.ir.instructions import Jump, Load, Ret, RoiBegin, Store
+from repro.ir.module import Block, Function, Module
+from repro.ir.values import Const, Temp, const_int
+from repro.ir.verifier import verify_module
+
+
+class TestTypeLayout:
+    def test_scalar_sizes(self):
+        assert ct.INT.size() == 8
+        assert ct.FLOAT.size() == 8
+        assert ct.CHAR.size() == 1
+        assert ct.PointerType(ct.INT).size() == 8
+
+    def test_array_size(self):
+        assert ct.ArrayType(ct.INT, 10).size() == 80
+        assert ct.ArrayType(ct.CHAR, 10).size() == 10
+
+    def test_struct_layout_with_alignment(self):
+        struct = ct.StructType("s")
+        struct.set_body([("c", ct.CHAR), ("i", ct.INT), ("d", ct.CHAR)])
+        assert struct.field_offset("c") == 0
+        assert struct.field_offset("i") == 8  # aligned up
+        assert struct.field_offset("d") == 16
+        assert struct.size() == 24  # padded to 8
+
+    def test_struct_with_array_field(self):
+        struct = ct.StructType("t")
+        struct.set_body([("a", ct.ArrayType(ct.INT, 3)), ("b", ct.INT)])
+        assert struct.field_offset("b") == 24
+
+    def test_nested_struct_field(self):
+        inner = ct.StructType("inner")
+        inner.set_body([("x", ct.INT), ("y", ct.INT)])
+        outer = ct.StructType("outer")
+        outer.set_body([("pad", ct.CHAR), ("in_", inner)])
+        assert outer.field_offset("in_") == 8
+        assert outer.size() == 24
+
+    def test_struct_identity_is_nominal(self):
+        a = ct.StructType("same")
+        b = ct.StructType("same")
+        c = ct.StructType("other")
+        assert a == b
+        assert a != c
+
+    def test_decay(self):
+        arr = ct.ArrayType(ct.FLOAT, 4)
+        assert ct.decay(arr) == ct.PointerType(ct.FLOAT)
+        assert ct.decay(ct.INT) == ct.INT
+
+    def test_missing_field_raises(self):
+        struct = ct.StructType("s")
+        struct.set_body([("x", ct.INT)])
+        from repro.errors import SemanticError
+
+        with pytest.raises(SemanticError):
+            struct.field_offset("nope")
+
+
+class TestVerifier:
+    def _module_with(self, build):
+        module = Module("t")
+        fn = Function("f", ct.FunctionType(ct.INT, ()))
+        module.add_function(fn)
+        build(fn)
+        return module
+
+    def test_unterminated_block_rejected(self):
+        def build(fn):
+            block = fn.new_block("entry")
+            block.append(Store(const_int(1), Temp("t0", ct.PointerType(ct.INT))))
+
+        with pytest.raises(IRVerifyError):
+            verify_module(self._module_with(build))
+
+    def test_use_of_undefined_temp_rejected(self):
+        def build(fn):
+            block = fn.new_block("entry")
+            block.append(Ret(Temp("ghost", ct.INT)))
+
+        with pytest.raises(IRVerifyError):
+            verify_module(self._module_with(build))
+
+    def test_double_definition_rejected(self):
+        def build(fn):
+            block = fn.new_block("entry")
+            ptr = ct.PointerType(ct.INT)
+            from repro.ir.instructions import Alloca
+
+            slot = Temp("t0", ptr)
+            block.append(Alloca(slot, ct.INT, None))
+            block.append(Load(Temp("t1", ct.INT), slot))
+            block.append(Load(Temp("t1", ct.INT), slot))
+            block.append(Ret(None))
+
+        with pytest.raises(IRVerifyError):
+            verify_module(self._module_with(build))
+
+    def test_branch_to_foreign_block_rejected(self):
+        def build(fn):
+            block = fn.new_block("entry")
+            stray = Block("stray")
+            block.append(Jump(stray))
+
+        with pytest.raises(IRVerifyError):
+            verify_module(self._module_with(build))
+
+    def test_unknown_roi_marker_rejected(self):
+        def build(fn):
+            block = fn.new_block("entry")
+            block.append(RoiBegin(99))
+            block.append(Ret(None))
+
+        with pytest.raises(IRVerifyError):
+            verify_module(self._module_with(build))
+
+    def test_lowered_programs_always_verify(self):
+        module = frontend(
+            """
+            int f(int n) {
+              int total = 0;
+              for (int i = 0; i < n; ++i) {
+                #pragma carmot roi
+                { total += i; }
+              }
+              return total;
+            }
+            int main() { return f(5); }
+            """
+        )
+        verify_module(module)  # should not raise
+
+
+class TestPrinting:
+    def test_module_roundtrips_key_constructs(self):
+        module = frontend(
+            """
+            int g = 4;
+            int main() {
+              int *p = (int*) malloc(8);
+              *p = g;
+              int v = *p;
+              free((char*) p);
+              return v;
+            }
+            """
+        )
+        text = str(module)
+        assert "global @g : int = 4" in text
+        assert "call !malloc" in text
+        assert "ret" in text
+
+    def test_roi_markers_printed(self):
+        module = frontend(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 3; ++i) {
+                #pragma carmot roi
+                { s += i; }
+              }
+              return s;
+            }
+            """
+        )
+        text = str(module)
+        assert "roi.begin #0" in text
+        assert "roi.end #0" in text
+        assert "roi.reset #0" in text

@@ -1,0 +1,109 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        toks = tokenize("foo _bar baz42")
+        assert [t.value for t in toks[:-1]] == ["foo", "_bar", "baz42"]
+        assert all(t.kind is TokenKind.IDENT for t in toks[:-1])
+
+    def test_keywords_are_not_identifiers(self):
+        toks = tokenize("int intx")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+
+    def test_integer_literals(self):
+        assert values("0 42 123456") == [0, 42, 123456]
+
+    def test_hex_literal(self):
+        assert values("0xff 0x10") == [255, 16]
+
+    def test_float_literals(self):
+        assert values("1.5 0.25 2e3 1.5e-2") == [1.5, 0.25, 2000.0, 0.015]
+
+    def test_float_requires_digits_or_exponent(self):
+        toks = tokenize("1.5")
+        assert toks[0].kind is TokenKind.FLOAT_LIT
+
+    def test_string_literal_with_escapes(self):
+        toks = tokenize(r'"hello\nworld"')
+        assert toks[0].kind is TokenKind.STRING_LIT
+        assert toks[0].value == "hello\nworld"
+
+    def test_char_literal(self):
+        toks = tokenize("'a' '\\n'")
+        assert toks[0].value == ord("a")
+        assert toks[1].value == ord("\n")
+
+    def test_punctuators_longest_match(self):
+        assert values("<<= << < <= -> - --") == ["<<=", "<<", "<", "<=", "->", "-", "--"]
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_positions_track_lines(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].pos.line == 1 and toks[0].pos.column == 1
+        assert toks[1].pos.line == 2 and toks[1].pos.column == 3
+
+
+class TestPragmas:
+    def test_pragma_token(self):
+        toks = tokenize("#pragma carmot roi\nint x;")
+        assert toks[0].kind is TokenKind.PRAGMA
+        assert toks[0].value == "carmot roi"
+
+    def test_pragma_consumes_rest_of_line_only(self):
+        toks = tokenize("#pragma omp parallel for private(x)\ny;")
+        assert toks[0].kind is TokenKind.PRAGMA
+        assert toks[1].value == "y"
+
+    def test_non_pragma_directive_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#include <stdio.h>")
+
+    def test_empty_pragma_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#pragma")
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')

@@ -1,0 +1,184 @@
+"""Unit tests for AST→IR lowering edge cases and the ROI marker protocol."""
+
+import pytest
+
+from repro.compiler.driver import frontend
+from repro.ir.instructions import (
+    Alloca,
+    Call,
+    Jump,
+    Ret,
+    RoiBegin,
+    RoiEnd,
+    RoiReset,
+)
+from repro.vm import run_module
+
+
+def instrs_of(module, fn="main"):
+    return [i for b in module.functions[fn].blocks for i in b.instrs]
+
+
+class TestRoiMarkers:
+    def test_loop_roi_emits_reset_begin_end(self):
+        module = frontend(
+            """
+            int main() {
+              int s = 0;
+              #pragma carmot roi
+              for (int i = 0; i < 3; ++i) { s += i; }
+              return s;
+            }
+            """
+        )
+        kinds = [type(i).__name__ for i in instrs_of(module)]
+        assert kinds.count("RoiReset") == 1
+        assert kinds.count("RoiBegin") == 1  # static: one site per marker
+
+    def test_break_exits_roi_cleanly(self):
+        """Every path out of the region carries roi.end: the runtime's
+        active-ROI stack must balance even with break/continue/return."""
+        module = frontend(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 10; ++i) {
+                #pragma carmot roi
+                {
+                  if (i == 3) break;
+                  if (i == 1) continue;
+                  s += i;
+                }
+              }
+              return s;
+            }
+            """
+        )
+        begins = sum(isinstance(i, RoiBegin) for i in instrs_of(module))
+        ends = sum(isinstance(i, RoiEnd) for i in instrs_of(module))
+        assert begins == 1
+        assert ends == 3  # normal exit + break + continue
+        result = run_module(module)
+        assert result.return_value == 0 + 2  # i=0 adds 0, i=1 skips, i=2 adds
+
+    def test_return_inside_roi_closes_it(self):
+        module = frontend(
+            """
+            int f(int n) {
+              for (int i = 0; i < n; ++i) {
+                #pragma carmot roi
+                { if (i == 2) return i; }
+              }
+              return -1;
+            }
+            int main() { return f(5); }
+            """
+        )
+        ends = sum(isinstance(i, RoiEnd) for i in instrs_of(module, "f"))
+        assert ends == 2  # the return path and the fall-through path
+        assert run_module(module).return_value == 2
+
+    def test_nested_rois_balance(self):
+        module = frontend(
+            """
+            int main() {
+              int s = 0;
+              #pragma carmot roi name(outer)
+              {
+                for (int i = 0; i < 2; ++i) {
+                  #pragma carmot roi name(inner)
+                  { s += i; }
+                }
+              }
+              return s;
+            }
+            """
+        )
+        assert len(module.rois) == 2
+        run_module(module)  # marker imbalance would corrupt the run
+
+    def test_roi_names_respected(self):
+        module = frontend(
+            """
+            int main() {
+              int s = 0;
+              #pragma carmot roi name(hot) abstraction(task)
+              { s = 1; }
+              return s;
+            }
+            """
+        )
+        roi = module.rois[0]
+        assert roi.name == "hot"
+        assert roi.abstraction == "task"
+        assert not roi.is_loop_body
+
+
+class TestLoweringShapes:
+    def test_allocas_lead_the_entry_block(self):
+        module = frontend(
+            """
+            int f(int a) {
+              int x = 1;
+              if (a) { int y = 2; return y; }
+              return x;
+            }
+            int main() { return f(1); }
+            """
+        )
+        entry = module.functions["f"].entry
+        seen_non_alloca = False
+        for instr in entry.instrs:
+            if isinstance(instr, Alloca):
+                assert not seen_non_alloca, "alloca after non-alloca"
+            else:
+                seen_non_alloca = True
+
+    def test_dead_code_after_return_pruned(self):
+        module = frontend("int main() { return 1; int x = 2; return x; }")
+        rets = [i for i in instrs_of(module) if isinstance(i, Ret)]
+        assert len(rets) == 1
+
+    def test_string_literals_become_globals(self):
+        module = frontend('int main() { print_str("hello"); return 0; }')
+        assert any(name.startswith(".str") for name in module.globals)
+
+    def test_void_function_gets_implicit_return(self):
+        module = frontend("void f() { } int main() { f(); return 0; }")
+        terminator = module.functions["f"].blocks[-1].terminator
+        assert isinstance(terminator, Ret)
+
+    def test_char_semantics_through_lowering(self):
+        module = frontend(
+            """
+            int main() {
+              char c = 200;
+              c = c + 100;
+              print_int(c);
+              return 0;
+            }
+            """
+        )
+        assert run_module(module).output == ["44"]  # (200 + 100) & 0xFF
+
+    def test_global_without_initializer_is_zero(self):
+        module = frontend("int g;\nint main() { return g; }")
+        assert run_module(module).return_value == 0
+
+    def test_omp_markers_lowered(self):
+        module = frontend(
+            """
+            int main() {
+              int s = 0;
+              #pragma omp critical
+              { s = 1; }
+              #pragma omp barrier
+              ;
+              return s;
+            }
+            """
+        )
+        kinds = {type(i).__name__ for i in instrs_of(module)}
+        assert "OmpRegionBegin" in kinds
+        assert "OmpBarrier" in kinds
+        assert module.omp_regions

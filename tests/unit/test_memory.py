@@ -1,0 +1,147 @@
+"""Unit tests for the VM memory model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault
+from repro.lang import types as ct
+from repro.vm.memory import Memory
+
+
+class TestAllocation:
+    def test_objects_do_not_overlap(self):
+        mem = Memory()
+        a = mem.allocate(16, "heap")
+        b = mem.allocate(16, "heap")
+        assert a.end <= b.base
+
+    def test_zero_size_allocation_rounds_up(self):
+        mem = Memory()
+        obj = mem.allocate(0, "heap")
+        assert obj.size == 1
+
+    def test_negative_size_rejected(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault):
+            mem.allocate(-1, "heap")
+
+    def test_segments_are_disjoint(self):
+        mem = Memory()
+        g = mem.allocate(8, "global")
+        s = mem.allocate(8, "stack")
+        h = mem.allocate(8, "heap")
+        assert g.base < s.base < h.base
+
+    def test_heap_accounting(self):
+        mem = Memory()
+        obj = mem.allocate(100, "heap")
+        assert mem.heap_bytes_allocated == 100
+        mem.free(obj.base)
+        assert mem.heap_bytes_freed == 100
+        assert mem.leaked_bytes == 0
+
+    def test_leak_accounting(self):
+        mem = Memory()
+        mem.allocate(64, "heap")
+        mem.allocate(36, "heap")
+        assert mem.leaked_bytes == 100
+
+
+class TestFaults:
+    def test_invalid_address(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault):
+            mem.read_scalar(0xDEAD, ct.INT)
+
+    def test_use_after_free(self):
+        mem = Memory()
+        obj = mem.allocate(8, "heap")
+        mem.free(obj.base)
+        with pytest.raises(MemoryFault):
+            mem.read_scalar(obj.base, ct.INT)
+
+    def test_out_of_bounds(self):
+        mem = Memory()
+        obj = mem.allocate(8, "heap")
+        with pytest.raises(MemoryFault):
+            mem.read_scalar(obj.base + 4, ct.INT)  # 8-byte read at +4
+
+    def test_interior_free_rejected(self):
+        mem = Memory()
+        obj = mem.allocate(16, "heap")
+        with pytest.raises(MemoryFault):
+            mem.free(obj.base + 8)
+
+    def test_free_of_stack_rejected(self):
+        mem = Memory()
+        obj = mem.allocate(8, "stack")
+        with pytest.raises(MemoryFault):
+            mem.free(obj.base)
+
+    def test_guard_byte_between_objects(self):
+        mem = Memory()
+        a = mem.allocate(8, "heap")
+        mem.allocate(8, "heap")
+        with pytest.raises(MemoryFault):
+            mem.read_scalar(a.base + 8, ct.CHAR)
+
+
+class TestTypedAccess:
+    def test_int_roundtrip(self):
+        mem = Memory()
+        obj = mem.allocate(8, "heap")
+        mem.write_scalar(obj.base, -123456789, ct.INT)
+        assert mem.read_scalar(obj.base, ct.INT) == -123456789
+
+    def test_float_roundtrip(self):
+        mem = Memory()
+        obj = mem.allocate(8, "heap")
+        mem.write_scalar(obj.base, 3.14159, ct.FLOAT)
+        assert mem.read_scalar(obj.base, ct.FLOAT) == pytest.approx(3.14159)
+
+    def test_char_truncation(self):
+        mem = Memory()
+        obj = mem.allocate(1, "heap")
+        mem.write_scalar(obj.base, 0x1FF, ct.CHAR)
+        assert mem.read_scalar(obj.base, ct.CHAR) == 0xFF
+
+    def test_int_wraps_to_64_bits(self):
+        mem = Memory()
+        obj = mem.allocate(8, "heap")
+        mem.write_scalar(obj.base, 1 << 70, ct.INT)
+        assert mem.read_scalar(obj.base, ct.INT) == 0
+
+    def test_bytes_roundtrip(self):
+        mem = Memory()
+        obj = mem.allocate(10, "heap")
+        mem.write_bytes(obj.base + 2, b"hello")
+        assert mem.read_bytes(obj.base + 2, 5) == b"hello"
+
+    def test_zero_initialized(self):
+        mem = Memory()
+        obj = mem.allocate(8, "heap")
+        assert mem.read_scalar(obj.base, ct.INT) == 0
+
+
+class TestCompaction:
+    def test_lookup_survives_compaction(self):
+        mem = Memory()
+        keep = mem.allocate(8, "stack")
+        released = []
+        for _ in range(5000):
+            obj = mem.allocate(8, "stack")
+            released.append(obj)
+            mem.release_stack_object(obj)
+        mem.write_scalar(keep.base, 42, ct.INT)
+        assert mem.read_scalar(keep.base, ct.INT) == 42
+        assert mem.try_object_at(released[0].base) is None
+
+
+@given(st.lists(st.integers(-2**63, 2**63 - 1), min_size=1, max_size=20))
+def test_scalar_array_roundtrip(values):
+    mem = Memory()
+    obj = mem.allocate(8 * len(values), "heap")
+    for i, value in enumerate(values):
+        mem.write_scalar(obj.base + 8 * i, value, ct.INT)
+    for i, value in enumerate(values):
+        assert mem.read_scalar(obj.base + 8 * i, ct.INT) == value

@@ -1,0 +1,125 @@
+"""Unit tests for the simulated OpenMP executor (Figure 6 substrate)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel import (
+    ParallelMachine,
+    program_speedup,
+    simulate_parallel_for,
+    simulate_sections,
+)
+
+MACHINE = ParallelMachine(threads=4, region_startup=10,
+                          per_iteration_overhead=0,
+                          reduction_merge_per_thread=1, critical_handoff=1)
+
+
+class TestParallelFor:
+    def test_perfectly_parallel_scales(self):
+        iters = [100] * 16
+        makespan = simulate_parallel_for(iters, machine=MACHINE)
+        assert makespan == 4 * 100 + 10  # 16 iters over 4 threads
+
+    def test_empty_loop(self):
+        assert simulate_parallel_for([], machine=MACHINE) == 0
+
+    def test_fully_serial_fraction(self):
+        iters = [100] * 8
+        makespan = simulate_parallel_for(iters, serial_fraction=1.0,
+                                         machine=MACHINE)
+        assert makespan >= sum(iters)  # no better than serial
+
+    def test_serial_chain_bounds_makespan(self):
+        iters = [100] * 16
+        half = simulate_parallel_for(iters, serial_fraction=0.5,
+                                     ordered=True, machine=MACHINE)
+        none = simulate_parallel_for(iters, machine=MACHINE)
+        assert half > none
+        assert half >= 16 * 50  # the serialized halves chain up
+
+    def test_marker_measured_serial_costs(self):
+        iters = [100, 100, 100, 100]
+        serial = [100, 0, 0, 0]
+        makespan = simulate_parallel_for(iters, serial_costs=serial,
+                                         machine=MACHINE)
+        assert makespan >= 100
+
+    def test_reduction_adds_merge_cost(self):
+        iters = [50] * 8
+        plain = simulate_parallel_for(iters, machine=MACHINE)
+        with_red = simulate_parallel_for(iters, has_reduction=True,
+                                         machine=MACHINE)
+        assert with_red == plain + 4  # merge_per_thread * threads
+
+    def test_single_thread_machine_is_serial(self):
+        one = ParallelMachine(threads=1, region_startup=0,
+                              per_iteration_overhead=0)
+        iters = [10, 20, 30]
+        assert simulate_parallel_for(iters, machine=one) == 60
+
+    def test_never_faster_than_width(self):
+        iters = [100] * 64
+        makespan = simulate_parallel_for(iters, machine=MACHINE)
+        assert sum(iters) / makespan <= 4.0
+
+
+class TestSections:
+    def test_sections_spread_over_threads(self):
+        makespan = simulate_sections([100, 100, 100, 100], machine=MACHINE)
+        assert makespan == 100 + 10
+
+    def test_more_sections_than_threads_queue(self):
+        makespan = simulate_sections([100] * 8, machine=MACHINE)
+        assert makespan == 200 + 10
+
+    def test_imbalanced_sections(self):
+        makespan = simulate_sections([400, 10, 10, 10], machine=MACHINE)
+        assert makespan == 400 + 10
+
+    def test_serial_extra_added(self):
+        base = simulate_sections([50, 50], machine=MACHINE)
+        assert simulate_sections([50, 50], serial_extra=30,
+                                 machine=MACHINE) == base + 30
+
+    def test_empty_sections(self):
+        assert simulate_sections([], serial_extra=5, machine=MACHINE) == 15
+
+
+class TestProgramSpeedup:
+    def test_no_regions_no_speedup(self):
+        assert program_speedup(1000, []) == 1.0
+
+    def test_amdahl_shape(self):
+        # Half the program parallelized 10x -> ~1.8x overall.
+        speedup = program_speedup(
+            1000, [{"serial": 500, "parallel": 50}]
+        )
+        assert speedup == pytest.approx(1000 / 550)
+
+    def test_multiple_regions(self):
+        speedup = program_speedup(
+            1000,
+            [{"serial": 400, "parallel": 40},
+             {"serial": 400, "parallel": 40}],
+        )
+        assert speedup == pytest.approx(1000 / 280)
+
+    def test_zero_total(self):
+        assert program_speedup(0, [{"serial": 1, "parallel": 1}]) == 1.0
+
+
+@given(
+    st.lists(st.integers(1, 500), min_size=1, max_size=40),
+    st.floats(0.0, 1.0),
+)
+def test_makespan_bounded_by_serial_and_width(iters, fraction):
+    machine = ParallelMachine(threads=8, region_startup=0,
+                              per_iteration_overhead=0,
+                              reduction_merge_per_thread=0,
+                              critical_handoff=0)
+    makespan = simulate_parallel_for(iters, serial_fraction=fraction,
+                                     machine=machine)
+    total = sum(iters)
+    assert makespan <= total + len(iters)  # never worse than serial (+eps)
+    assert makespan >= total / 8  # never better than the machine width

@@ -1,0 +1,252 @@
+"""Unit tests for the MiniC parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import astnodes as ast
+from repro.lang import types as ct
+from repro.lang.parser import parse
+from repro.lang.pragmas import CarmotRoi, OmpPragma
+
+
+class TestDeclarations:
+    def test_simple_function(self):
+        prog = parse("int main() { return 0; }")
+        assert len(prog.functions) == 1
+        fn = prog.functions[0]
+        assert fn.name == "main"
+        assert fn.return_type == ct.INT
+        assert isinstance(fn.body.stmts[0], ast.Return)
+
+    def test_function_params(self):
+        prog = parse("int add(int a, int b) { return a + b; }")
+        fn = prog.functions[0]
+        assert [p.name for p in fn.params] == ["a", "b"]
+
+    def test_void_param_list(self):
+        prog = parse("void f(void) { }")
+        assert prog.functions[0].params == []
+
+    def test_array_param_decays_to_pointer(self):
+        prog = parse("void f(int a[10]) { }")
+        assert prog.functions[0].params[0].param_type == ct.PointerType(ct.INT)
+
+    def test_global_variable(self):
+        prog = parse("int counter = 3;\nfloat table[100];")
+        assert prog.globals[0].name == "counter"
+        assert isinstance(prog.globals[0].init, ast.IntLit)
+        assert prog.globals[1].var_type == ct.ArrayType(ct.FLOAT, 100)
+
+    def test_struct_definition(self):
+        prog = parse("struct point { int x; int y; };")
+        assert prog.structs[0].name == "point"
+        assert [f[0] for f in prog.structs[0].fields] == ["x", "y"]
+
+    def test_typedef_struct(self):
+        prog = parse(
+            """
+            typedef struct node_t { struct node_t *next; int value; } NODE_T;
+            NODE_T *head;
+            """
+        )
+        assert prog.structs[0].name == "node_t"
+        ptr = prog.globals[0].var_type
+        assert isinstance(ptr, ct.PointerType)
+        assert isinstance(ptr.pointee, ct.StructType)
+        assert ptr.pointee.name == "node_t"
+
+    def test_extern_declaration(self):
+        prog = parse("int helper(int x);")
+        assert prog.functions[0].body is None
+
+    def test_multi_declarator_struct_fields(self):
+        prog = parse("struct p { int x, y; };")
+        assert [f[0] for f in prog.structs[0].fields] == ["x", "y"]
+
+
+class TestStatements:
+    def body(self, text):
+        return parse("void f() { %s }" % text).functions[0].body.stmts
+
+    def test_var_decl_with_init(self):
+        (decl,) = self.body("int x = 5;")
+        assert isinstance(decl, ast.VarDecl)
+        assert decl.name == "x"
+
+    def test_multi_var_decl(self):
+        (group,) = self.body("int x = 1, y = 2;")
+        assert isinstance(group, ast.DeclGroup)
+        assert [d.name for d in group.decls] == ["x", "y"]
+
+    def test_local_array(self):
+        (decl,) = self.body("float grid[4][8];")
+        assert decl.var_type == ct.ArrayType(ct.ArrayType(ct.FLOAT, 8), 4)
+
+    def test_if_else(self):
+        (stmt,) = self.body("if (1) { } else { }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = self.body("if (1) if (2) ; else ;")
+        assert stmt.otherwise is None
+        assert isinstance(stmt.then, ast.If)
+        assert stmt.then.otherwise is not None
+
+    def test_for_loop_with_decl(self):
+        (stmt,) = self.body("for (int i = 0; i < 10; ++i) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert isinstance(stmt.step, ast.IncDec)
+
+    def test_for_loop_empty_clauses(self):
+        (stmt,) = self.body("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while_and_do_while(self):
+        stmts = self.body("while (1) break; do continue; while (0);")
+        assert isinstance(stmts[0], ast.While)
+        assert isinstance(stmts[1], ast.DoWhile)
+
+
+class TestExpressions:
+    def expr(self, text):
+        stmts = parse("void f() { %s; }" % text).functions[0].body.stmts
+        return stmts[0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("x = 1 + 2 * 3")
+        assert isinstance(e.value, ast.BinOp) and e.value.op == "+"
+        assert isinstance(e.value.rhs, ast.BinOp) and e.value.rhs.op == "*"
+
+    def test_comparison_below_arith(self):
+        e = self.expr("r = a + b < c")
+        assert e.value.op == "<"
+
+    def test_logical_lowest(self):
+        e = self.expr("r = a < b && c < d || e")
+        assert e.value.op == "||"
+
+    def test_assignment_right_associative(self):
+        e = self.expr("a = b = c")
+        assert isinstance(e.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        e = self.expr("y /= a * x + b")
+        assert e.op == "/="
+
+    def test_unary_chain(self):
+        e = self.expr("r = -*p")
+        assert isinstance(e.value, ast.UnaryOp)
+        assert isinstance(e.value.operand, ast.Deref)
+
+    def test_address_of(self):
+        e = self.expr("p = &x")
+        assert isinstance(e.value, ast.AddressOf)
+
+    def test_postfix_chain(self):
+        e = self.expr("v = a[1].next->value")
+        member = e.value
+        assert isinstance(member, ast.Member) and member.arrow
+        inner = member.base
+        assert isinstance(inner, ast.Member) and not inner.arrow
+        assert isinstance(inner.base, ast.Index)
+
+    def test_call_with_args(self):
+        e = self.expr("r = f(1, x + 2)")
+        assert isinstance(e.value, ast.Call)
+        assert len(e.value.args) == 2
+
+    def test_sizeof_type_and_expr(self):
+        e1 = self.expr("n = sizeof(int)")
+        assert isinstance(e1.value.target, ct.IntType)
+        e2 = self.expr("n = sizeof(n)")
+        assert isinstance(e2.value.target, ast.Expr)
+
+    def test_cast(self):
+        prog = parse(
+            "typedef struct t { int v; } T;\n"
+            "void f() { T *p; p = (T*) 0; }"
+        )
+        stmt = prog.functions[0].body.stmts[1]
+        assert isinstance(stmt.expr.value, ast.Cast)
+
+    def test_ternary(self):
+        e = self.expr("m = a < b ? a : b")
+        assert isinstance(e.value, ast.Cond)
+
+    def test_inc_dec_prefix_and_postfix(self):
+        pre = self.expr("++i")
+        post = self.expr("i++")
+        assert pre.is_prefix and not post.is_prefix
+
+
+class TestPragmaAttachment:
+    def test_carmot_roi_attaches_to_loop(self):
+        prog = parse(
+            """
+            void f(int a, int b) {
+              #pragma carmot roi abstraction(parallel_for)
+              for (int i = 0; i < 10; ++i) { }
+            }
+            """
+        )
+        loop = prog.functions[0].body.stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.pragmas[0], CarmotRoi)
+        assert loop.pragmas[0].abstraction == "parallel_for"
+
+    def test_omp_pragma_attaches(self):
+        prog = parse(
+            """
+            void f() {
+              #pragma omp parallel for private(x) reduction(+:sum)
+              while (0) { }
+            }
+            """
+        )
+        loop = prog.functions[0].body.stmts[0]
+        omp = loop.pragmas[0]
+        assert isinstance(omp, OmpPragma)
+        assert omp.directive == "parallel for"
+        assert omp.private == ["x"]
+        assert omp.reductions == [("+", "sum")]
+
+    def test_multiple_pragmas_stack(self):
+        prog = parse(
+            """
+            void f() {
+              #pragma carmot roi
+              #pragma omp critical
+              { }
+            }
+            """
+        )
+        stmt = prog.functions[0].body.stmts[0]
+        assert len(stmt.pragmas) == 2
+
+    def test_pragma_at_top_level_rejected(self):
+        with pytest.raises(ParseError):
+            parse("#pragma carmot roi\nint x;")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int main( { }",
+            "int main() { return }",
+            "int main() { int 3x; }",
+            "int main() { x ++ 3; }",
+            "struct s { int };",
+            "int a[x];",
+            "int main() { for (;; }",
+        ],
+    )
+    def test_malformed_programs(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("int main() { if (1) {")

@@ -1,0 +1,92 @@
+"""Unit tests for the batching pipeline (§4.6)."""
+
+import threading
+
+import pytest
+
+from repro.errors import RuntimeToolError
+from repro.runtime.pipeline import Batch, BatchingPipeline
+
+
+def make_pipeline(batch_size=4, threaded=False, workers=2, fail_on=None):
+    processed = []
+    postprocessed = []
+
+    def process(batch):
+        if fail_on is not None and fail_on in batch.events:
+            raise ValueError(f"boom on {fail_on}")
+        processed.append(list(batch.events))
+        return batch
+
+    def postprocess(batch):
+        postprocessed.extend(batch.events)
+
+    pipeline = BatchingPipeline(batch_size, process, postprocess,
+                                threaded=threaded, worker_count=workers)
+    return pipeline, processed, postprocessed
+
+
+class TestDeterministicMode:
+    def test_batches_fill_and_flush(self):
+        pipeline, processed, post = make_pipeline(batch_size=3)
+        for i in range(7):
+            pipeline.push(i)
+        pipeline.close()
+        assert post == list(range(7))
+        assert pipeline.batches_processed == 3  # 3 + 3 + 1
+
+    def test_empty_close_is_noop(self):
+        pipeline, _, post = make_pipeline()
+        pipeline.close()
+        assert post == []
+        assert pipeline.batches_processed == 0
+
+    def test_flush_partial_batch(self):
+        pipeline, _, post = make_pipeline(batch_size=100)
+        pipeline.push("a")
+        pipeline.flush()
+        assert post == ["a"]
+
+    def test_events_seen_counter(self):
+        pipeline, _, _ = make_pipeline(batch_size=2)
+        for i in range(5):
+            pipeline.push(i)
+        assert pipeline.events_seen == 5
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(RuntimeToolError):
+            BatchingPipeline(0, lambda b: b, lambda b: None)
+
+
+class TestThreadedMode:
+    def test_order_preserved_across_workers(self):
+        pipeline, _, post = make_pipeline(batch_size=5, threaded=True,
+                                          workers=4)
+        for i in range(103):
+            pipeline.push(i)
+        pipeline.close()
+        assert post == list(range(103))
+
+    def test_single_worker(self):
+        pipeline, _, post = make_pipeline(batch_size=2, threaded=True,
+                                          workers=1)
+        for i in range(9):
+            pipeline.push(i)
+        pipeline.close()
+        assert post == list(range(9))
+
+    def test_worker_error_surfaces_on_close(self):
+        pipeline, _, _ = make_pipeline(batch_size=1, threaded=True,
+                                       workers=2, fail_on=3)
+        for i in range(6):
+            pipeline.push(i)
+        with pytest.raises(Exception):
+            pipeline.close()
+
+    def test_large_volume(self):
+        pipeline, _, post = make_pipeline(batch_size=64, threaded=True,
+                                          workers=3)
+        for i in range(10_000):
+            pipeline.push(i)
+        pipeline.close()
+        assert post == list(range(10_000))

@@ -1,0 +1,110 @@
+"""Unit tests for pragma parsing."""
+
+import pytest
+
+from repro.errors import PragmaError
+from repro.lang.pragmas import (
+    CarmotRoi,
+    OmpPragma,
+    clause_summary,
+    parse_pragma,
+)
+
+
+class TestCarmotPragmas:
+    def test_bare_roi(self):
+        p = parse_pragma("carmot roi")
+        assert isinstance(p, CarmotRoi)
+        assert p.abstraction is None and p.name is None
+
+    @pytest.mark.parametrize(
+        "abstraction", ["parallel_for", "task", "smart_pointers", "stats"]
+    )
+    def test_roi_with_abstraction(self, abstraction):
+        p = parse_pragma(f"carmot roi abstraction({abstraction})")
+        assert p.abstraction == abstraction
+
+    def test_roi_with_name(self):
+        p = parse_pragma("carmot roi name(hot_loop) abstraction(task)")
+        assert p.name == "hot_loop"
+        assert p.abstraction == "task"
+
+    def test_unknown_abstraction_rejected(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("carmot roi abstraction(gpu_offload)")
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("carmot roi speed(fast)")
+
+    def test_missing_roi_keyword(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("carmot region")
+
+
+class TestOmpPragmas:
+    def test_parallel_for_with_clauses(self):
+        p = parse_pragma(
+            "omp parallel for private(x, i) shared(a,b) firstprivate(s) "
+            "lastprivate(t) reduction(+:sum)"
+        )
+        assert isinstance(p, OmpPragma)
+        assert p.directive == "parallel for"
+        assert p.private == ["x", "i"]
+        assert p.shared == ["a", "b"]
+        assert p.firstprivate == ["s"]
+        assert p.lastprivate == ["t"]
+        assert p.reductions == [("+", "sum")]
+
+    def test_parallel_vs_parallel_for_disambiguation(self):
+        assert parse_pragma("omp parallel").directive == "parallel"
+        assert parse_pragma("omp parallel for").directive == "parallel for"
+        assert parse_pragma("omp parallel sections").directive == "parallel sections"
+
+    def test_simple_directives(self):
+        for d in ("critical", "ordered", "barrier", "master", "section"):
+            assert parse_pragma(f"omp {d}").directive == d
+
+    def test_task_depend(self):
+        p = parse_pragma("omp task depend(in: a, b) depend(out: c)")
+        assert p.depend_in == ["a", "b"]
+        assert p.depend_out == ["c"]
+
+    def test_num_threads(self):
+        p = parse_pragma("omp parallel for num_threads(8)")
+        assert p.num_threads == 8
+
+    def test_ordered_clause_on_for(self):
+        p = parse_pragma("omp parallel for ordered")
+        assert p.has_ordered_clause
+
+    def test_reduction_multiple_vars(self):
+        p = parse_pragma("omp parallel for reduction(max:hi, lo)")
+        assert p.reductions == [("max", "hi"), ("max", "lo")]
+
+    def test_bad_reduction_operator(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("omp parallel for reduction(/:x)")
+
+    def test_bad_depend_kind(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("omp task depend(inout: x)")
+
+    def test_unknown_directive(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("omp simd")
+
+    def test_unknown_clause(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("omp parallel for collapse(2)")
+
+    def test_clause_summary_is_sorted(self):
+        p = parse_pragma("omp parallel for private(z, a) shared(m)")
+        summary = clause_summary(p)
+        assert summary["private"] == ["a", "z"]
+        assert summary["shared"] == ["m"]
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(PragmaError):
+        parse_pragma("gcc unroll 4")

@@ -1,0 +1,151 @@
+"""Unit tests for PSEC containers and the cross-run merge rule (§4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RuntimeToolError
+from repro.runtime.fsa import State
+from repro.runtime.psec import (
+    MemoryBudgetExceeded,
+    Psec,
+    merge_psecs,
+)
+
+
+def _touch(psec, key, writes_and_invs, track_uses=False):
+    for is_write, inv in writes_and_invs:
+        psec.record_access(key, None, is_write, inv, inv * 10, None, (),
+                           track_uses)
+
+
+class TestPsecRecording:
+    def test_sets_extraction(self):
+        psec = Psec(0)
+        _touch(psec, ("var", 1), [(False, 1), (False, 2)])          # input
+        _touch(psec, ("var", 2), [(True, 1), (True, 2)])            # cloneable
+        _touch(psec, ("var", 3), [(True, 1), (False, 2)])           # transfer
+        sets = psec.sets()
+        assert ("var", 1) in sets["input"]
+        assert ("var", 2) in sets["cloneable"]
+        assert ("var", 3) in sets["transfer"]
+        assert ("var", 2) in sets["output"]
+
+    def test_per_element_granularity(self):
+        """Figure 2: only a[1] carries the cross-invocation RAW."""
+        psec = Psec(0)
+        # invocation 0: read a[0], write a[1]
+        _touch(psec, ("mem", 9, 0, 8), [(False, 1)])
+        _touch(psec, ("mem", 9, 8, 8), [(True, 1)])
+        # invocation 1: read a[1] -> transfer; write a[0]
+        _touch(psec, ("mem", 9, 8, 8), [(False, 2)])
+        _touch(psec, ("mem", 9, 0, 8), [(True, 2)])
+        sets = psec.sets()
+        assert sets["transfer"] == [("mem", 9, 8, 8)]
+        assert ("mem", 9, 0, 8) not in sets["transfer"]
+
+    def test_use_callstack_recording(self):
+        psec = Psec(0)
+        psec.record_access(("var", 1), None, False, 1, 5, None,
+                           ("main", "f"), True)
+        entry = psec.entries[("var", 1)]
+        assert ("?", ("main", "f")) in entry.uses
+
+    def test_use_records_budget(self):
+        psec = Psec(0)
+        with pytest.raises(MemoryBudgetExceeded):
+            for i in range(100):
+                psec.record_access(
+                    ("var", i), None, False, 1, i, None, (f"fn{i}",),
+                    True, max_use_records=10,
+                )
+
+    def test_forced_classification_combines(self):
+        psec = Psec(0)
+        psec.force_classification(("var", 1), None, "I", 0)
+        _touch(psec, ("var", 1), [(True, 1)])
+        assert psec.classification_of(("var", 1)) == frozenset("IO")
+
+    def test_invariant_checker_passes_on_valid_psec(self):
+        psec = Psec(0)
+        _touch(psec, ("var", 1), [(True, 1), (True, 2)])
+        psec.check_invariants()
+
+    def test_forcing_transfer_drops_cloneable(self):
+        psec = Psec(0)
+        _touch(psec, ("var", 1), [(True, 1), (True, 2)])  # cloneable
+        psec.force_classification(("var", 1), None, "T", 0)
+        letters = psec.classification_of(("var", 1))
+        assert "T" in letters and "C" not in letters
+
+
+class TestMerge:
+    def _mk(self, letters_by_key):
+        psec = Psec(7)
+        for key, letters in letters_by_key.items():
+            psec.force_classification(key, None, letters, 0)
+        return psec
+
+    def test_union_rule(self):
+        a = self._mk({("var", 1): "IO"})
+        b = self._mk({("var", 1): "O", ("var", 2): "I"})
+        merged = merge_psecs(a, b)
+        assert merged.classification_of(("var", 1)) == frozenset("IO")
+        assert merged.classification_of(("var", 2)) == frozenset("I")
+
+    def test_cloneable_plus_transfer_is_transfer(self):
+        """The §4.2 exception: C in one run, T in another -> T."""
+        a = self._mk({("var", 1): "CO"})
+        b = self._mk({("var", 1): "TO"})
+        merged = merge_psecs(a, b)
+        letters = merged.classification_of(("var", 1))
+        assert "T" in letters
+        assert "C" not in letters
+
+    def test_merge_is_commutative(self):
+        a = self._mk({("var", 1): "CO", ("var", 2): "I"})
+        b = self._mk({("var", 1): "TO", ("var", 3): "O"})
+        left = merge_psecs(a, b)
+        right = merge_psecs(b, a)
+        for key in (("var", 1), ("var", 2), ("var", 3)):
+            assert left.classification_of(key) == right.classification_of(key)
+
+    def test_merge_requires_same_roi(self):
+        with pytest.raises(RuntimeToolError):
+            merge_psecs(Psec(0), Psec(1))
+
+    def test_merge_accumulates_invocations(self):
+        a = Psec(3)
+        a.invocations = 5
+        b = Psec(3)
+        b.invocations = 7
+        assert merge_psecs(a, b).invocations == 12
+
+
+@given(
+    st.dictionaries(
+        st.integers(0, 5),
+        st.sampled_from(["I", "O", "IO", "CO", "TO", "CIO", "TIO"]),
+        max_size=5,
+    ),
+    st.dictionaries(
+        st.integers(0, 5),
+        st.sampled_from(["I", "O", "IO", "CO", "TO", "CIO", "TIO"]),
+        max_size=5,
+    ),
+)
+def test_merge_never_violates_c_t_exclusion(states_a, states_b):
+    a = Psec(0)
+    for uid, letters in states_a.items():
+        a.force_classification(("var", uid), None, letters, 0)
+    b = Psec(0)
+    for uid, letters in states_b.items():
+        b.force_classification(("var", uid), None, letters, 0)
+    merged = merge_psecs(a, b)
+    merged.check_invariants()
+    # Union semantics (modulo the C/T rule).
+    for uid in set(states_a) | set(states_b):
+        key = ("var", uid)
+        expected = set(states_a.get(uid, "")) | set(states_b.get(uid, ""))
+        if "T" in expected:
+            expected.discard("C")
+        assert merged.classification_of(key) == frozenset(expected)

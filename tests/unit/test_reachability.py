@@ -1,0 +1,107 @@
+"""Unit tests for the Reachability Graph and cycle detection."""
+
+from hypothesis import given, strategies as st
+
+from repro.runtime.reachability import ReachabilityGraph
+
+
+def graph_with(edges, alloc_times=None):
+    g = ReachabilityGraph()
+    alloc_times = alloc_times or {}
+    nodes = {n for e in edges for n in e}
+    for node in sorted(nodes):
+        g.add_node(node, True, alloc_times.get(node, node))
+    for src, dst in edges:
+        g.add_edge(src, dst, 0, 100)
+    return g
+
+
+class TestCycleDetection:
+    def test_no_cycle_in_dag(self):
+        g = graph_with([(1, 2), (2, 3), (1, 3)])
+        assert g.find_cycles() == []
+
+    def test_self_loop(self):
+        g = graph_with([(1, 1)])
+        cycles = g.find_cycles()
+        assert len(cycles) == 1
+        assert cycles[0].nodes == (1,)
+
+    def test_two_cycle(self):
+        g = graph_with([(1, 2), (2, 1)])
+        cycles = g.find_cycles()
+        assert len(cycles) == 1
+        assert cycles[0].nodes == (1, 2)
+
+    def test_long_cycle_like_nab(self):
+        """Figure 9: molecule -> strand -> residue -> atom -> molecule."""
+        g = graph_with([(1, 2), (2, 3), (3, 4), (4, 1)])
+        cycles = g.find_cycles()
+        assert len(cycles) == 1
+        assert cycles[0].nodes == (1, 2, 3, 4)
+
+    def test_multiple_disjoint_cycles(self):
+        g = graph_with([(1, 2), (2, 1), (3, 4), (4, 3), (5, 6)])
+        assert len(g.find_cycles()) == 2
+
+    def test_weak_suggestion_targets_oldest_node(self):
+        # Node 2 is oldest (earliest first access).
+        g = graph_with([(1, 2), (2, 3), (3, 1)],
+                       alloc_times={1: 30, 2: 10, 3: 20})
+        report = g.find_cycles()[0]
+        assert report.weak_edge.dst == 2
+
+    def test_freed_node_breaks_cycle(self):
+        g = graph_with([(1, 2), (2, 1)])
+        g.remove_node(2)
+        assert g.find_cycles() == []
+
+    def test_edge_overwrite_keeps_latest(self):
+        g = ReachabilityGraph()
+        for node in (1, 2, 3):
+            g.add_node(node, True, node)
+        g.add_edge(1, 2, 0, 10)
+        g.add_edge(1, 3, 8, 20)
+        assert set(g.successors(1)) == {2, 3}
+
+    def test_reachable_from(self):
+        g = graph_with([(1, 2), (2, 3), (4, 5)])
+        assert g.reachable_from(1) == {1, 2, 3}
+        assert g.reachable_from(4) == {4, 5}
+
+    def test_nodes_added_implicitly_by_edges(self):
+        g = ReachabilityGraph()
+        g.add_edge(10, 20, 0, 5)
+        assert set(g.nodes()) == {10, 20}
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)),
+        max_size=60,
+    )
+)
+def test_sccs_partition_nodes(edges):
+    g = graph_with(edges) if edges else ReachabilityGraph()
+    sccs = g.strongly_connected_components()
+    flattened = [n for scc in sccs for n in scc]
+    assert sorted(flattened) == sorted(g.nodes())
+    assert len(flattened) == len(set(flattened))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 10), st.integers(0, 10)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_every_cycle_node_reaches_itself(edges):
+    g = graph_with(edges)
+    for report in g.find_cycles():
+        for node in report.nodes:
+            reachable = g.reachable_from(node) - {node}
+            back = any(node in g.reachable_from(m) for m in reachable) or (
+                node in g.successors(node)
+            )
+            assert back

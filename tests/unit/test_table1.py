@@ -1,0 +1,60 @@
+"""Table 1: which PSEC components each abstraction needs — regenerated from
+the code and checked cell by cell against the paper."""
+
+from repro.abstractions import ABSTRACTION_REQUIREMENTS
+from repro.harness import table1
+from repro.runtime.config import NAIVE_POLICIES, POLICIES
+
+
+class TestTable1Cells:
+    def test_omp_parallel_for_row(self):
+        req = ABSTRACTION_REQUIREMENTS["omp_parallel_for"]
+        assert (req.sets, req.use_callstacks, req.reachability_graph) == (
+            True, True, False
+        )
+
+    def test_omp_task_row(self):
+        req = ABSTRACTION_REQUIREMENTS["omp_task"]
+        assert (req.sets, req.use_callstacks, req.reachability_graph) == (
+            True, False, False
+        )
+
+    def test_smart_pointers_row(self):
+        req = ABSTRACTION_REQUIREMENTS["smart_pointers"]
+        assert (req.sets, req.use_callstacks, req.reachability_graph) == (
+            True, False, True
+        )
+
+    def test_stats_row(self):
+        req = ABSTRACTION_REQUIREMENTS["stats"]
+        assert (req.sets, req.use_callstacks, req.reachability_graph) == (
+            True, False, False
+        )
+
+    def test_exactly_four_abstractions(self):
+        assert len(ABSTRACTION_REQUIREMENTS) == 4
+
+
+class TestPoliciesFollowTable1:
+    def test_only_parallel_for_tracks_use_callstacks(self):
+        for name, policy in POLICIES.items():
+            expected = name == "parallel_for"
+            assert policy.track_use_callstacks == expected, name
+
+    def test_only_smart_pointers_tracks_reachability(self):
+        for name, policy in POLICIES.items():
+            expected = name == "smart_pointers"
+            assert policy.track_reachability == expected, name
+
+    def test_carmot_smart_pointer_shortcut(self):
+        """§5.2: CARMOT derives the smart-pointer Sets from allocations and
+        escapes, so its policy skips per-access tracking — the naive
+        (Table-1-literal) policy does not."""
+        assert not POLICIES["smart_pointers"].track_sets
+        assert NAIVE_POLICIES["smart_pointers"].track_sets
+
+
+def test_table_renders():
+    text = table1()
+    assert "omp_parallel_for" in text
+    assert "reachability" in text

@@ -1,0 +1,88 @@
+"""Unit tests for the workload registry and source generation."""
+
+import pytest
+
+from repro.compiler import frontend
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ALL_WORKLOADS,
+    USE_CASES,
+    figure6_workloads,
+    workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_fifteen_benchmarks(self):
+        assert len(ALL_WORKLOADS) == 15
+
+    def test_suite_composition(self):
+        suites = {}
+        for w in ALL_WORKLOADS:
+            suites.setdefault(w.suite, []).append(w.name)
+        assert sorted(suites["PARSEC"]) == ["blackscholes", "canneal",
+                                            "swaptions"]
+        assert sorted(suites["NAS"]) == ["bt", "cg", "ep", "ft", "is", "lu",
+                                         "mg", "sp"]
+        assert sorted(suites["SPEC"]) == ["imagick", "lbm", "nab", "xz"]
+
+    def test_lookup_by_name(self):
+        assert workload("cg").name == "cg"
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            workload("linpack")
+
+    def test_names_are_unique(self):
+        names = workload_names()
+        assert len(names) == len(set(names))
+
+    def test_unsupported_original_flags(self):
+        flagged = {w.name for w in ALL_WORKLOADS if w.unsupported_original}
+        assert flagged == {"ep", "nab"}
+
+    def test_pthreads_style_originals(self):
+        sections = {w.name for w in ALL_WORKLOADS
+                    if w.original_kind == "sections"}
+        assert {"canneal", "swaptions", "ep", "nab"} == sections
+
+    def test_figure6_selection(self):
+        assert figure6_workloads()
+
+
+class TestSourceGeneration:
+    @pytest.mark.parametrize("wl", ALL_WORKLOADS, ids=lambda w: w.name)
+    @pytest.mark.parametrize("use_case", USE_CASES)
+    def test_every_variant_compiles(self, wl, use_case):
+        module = frontend(wl.test_source(use_case), wl.name)
+        assert "main" in module.functions
+
+    @pytest.mark.parametrize("wl", ALL_WORKLOADS, ids=lambda w: w.name)
+    def test_openmp_variant_has_carmot_roi(self, wl):
+        module = frontend(wl.test_source("openmp"), wl.name)
+        assert module.rois, wl.name
+
+    @pytest.mark.parametrize("wl", ALL_WORKLOADS, ids=lambda w: w.name)
+    def test_cycles_variant_rois_are_whole_program(self, wl):
+        module = frontend(wl.test_source("cycles"), wl.name)
+        abstractions = {roi.abstraction for roi in module.rois.values()}
+        assert abstractions == {"smart_pointers"}
+
+    @pytest.mark.parametrize("wl", ALL_WORKLOADS, ids=lambda w: w.name)
+    def test_stats_variant_rois(self, wl):
+        module = frontend(wl.test_source("stats"), wl.name)
+        abstractions = {roi.abstraction for roi in module.rois.values()}
+        assert abstractions == {"stats"}
+
+    def test_ref_params_scale_up(self):
+        for wl in ALL_WORKLOADS:
+            assert wl.ref_params != wl.test_params
+
+    def test_bad_use_case_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload("cg").source(None, use_case="gpu")
+
+    def test_original_omp_annotations_present(self):
+        module = frontend(workload("cg").test_source("openmp"), "cg")
+        assert module.omp_loops
