@@ -27,6 +27,7 @@ from repro.compiler import (
     frontend,
 )
 from repro.errors import ReproError
+from repro.resilience import FaultPlan, parse_budget_spec
 
 
 def _read(path: str) -> str:
@@ -34,10 +35,31 @@ def _read(path: str) -> str:
         return handle.read()
 
 
+def _run_kwargs(args: argparse.Namespace):
+    """Translate --budget/--fault-plan flags into program.run() kwargs."""
+    kwargs = {}
+    if getattr(args, "budget", None):
+        spec = parse_budget_spec(args.budget)
+        kwargs["budgets"] = spec.vm
+        kwargs["resilience"] = spec.runtime
+    if getattr(args, "fault_plan", None):
+        kwargs["fault_plan"] = FaultPlan.parse(args.fault_plan)
+    if getattr(args, "batch_size", None) is not None:
+        kwargs["batch_size"] = args.batch_size
+    return kwargs
+
+
+def _print_degradation(runtime) -> None:
+    if runtime is not None and runtime.degraded:
+        print(f"degraded run — {runtime.degradation.summary()}",
+              file=sys.stderr)
+
+
 def _cmd_recommend(args: argparse.Namespace) -> int:
     source = _read(args.file)
     program = compile_carmot(source, args.abstraction, name=args.file)
-    result, runtime = program.run(entry=args.entry)
+    result, runtime = program.run(entry=args.entry, **_run_kwargs(args))
+    _print_degradation(runtime)
     if args.show_output:
         print("program output:", " ".join(result.output))
     if not program.module.rois:
@@ -56,10 +78,14 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 def _cmd_psec(args: argparse.Namespace) -> int:
     source = _read(args.file)
     program = compile_carmot(source, args.abstraction, name=args.file)
-    _, runtime = program.run(entry=args.entry)
+    _, runtime = program.run(entry=args.entry, **_run_kwargs(args))
+    _print_degradation(runtime)
     for roi_id, psec in sorted(runtime.psecs.items()):
         roi = program.module.rois[roi_id]
-        print(f"ROI {roi.name} ({roi.loc}) — {psec.invocations} invocations")
+        status = " [degraded: " + ", ".join(psec.degradation_reasons) + "]" \
+            if psec.degraded else ""
+        print(f"ROI {roi.name} ({roi.loc}) — {psec.invocations} "
+              f"invocations{status}")
         for set_name, keys in psec.sets().items():
             names = sorted(
                 str(describe_pse(k, psec, runtime.asmt)) for k in keys
@@ -76,11 +102,13 @@ def _cmd_psec(args: argparse.Namespace) -> int:
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    base, _ = compile_baseline(source, name=args.file).run(entry=args.entry)
+    kwargs = _run_kwargs(args)
+    base, _ = compile_baseline(source, name=args.file).run(
+        entry=args.entry, budgets=kwargs.get("budgets"))
     naive, _ = compile_naive(source, args.abstraction,
-                             name=args.file).run(entry=args.entry)
+                             name=args.file).run(entry=args.entry, **kwargs)
     carmot, _ = compile_carmot(source, args.abstraction,
-                               name=args.file).run(entry=args.entry)
+                               name=args.file).run(entry=args.entry, **kwargs)
     print(f"baseline cost : {base.cost}")
     print(f"naive         : {naive.cost}  ({naive.cost / base.cost:.1f}x)")
     print(f"carmot        : {carmot.cost}  ({carmot.cost / base.cost:.1f}x)")
@@ -118,6 +146,25 @@ def build_parser() -> argparse.ArgumentParser:
                                 "stats"],
                        help="override the abstraction named in the pragma")
         p.add_argument("--entry", default="main")
+        p.add_argument(
+            "--budget", default=None, metavar="SPEC",
+            help="execution budgets and resilience policy, e.g. "
+                 "'steps=5000000,heap=1048576,depth=256,"
+                 "events-per-roi=20000,retries=2,degrade=1'",
+        )
+        p.add_argument(
+            "--fault-plan", default=None, metavar="PLAN",
+            help="deterministic fault injection, e.g. "
+                 "'seed=42;crash@3;drop@5;slow@7:250' "
+                 "(combine with --budget retries=...,degrade=1 to observe "
+                 "degraded-mode recovery)",
+        )
+        p.add_argument(
+            "--batch-size", type=int, default=None, metavar="N",
+            help="pipeline batch size (smaller values create more batches "
+                 "— useful with --fault-plan, whose faults target batch "
+                 "sequence numbers)",
+        )
 
     rec = sub.add_parser("recommend", help="print recommendations (default)")
     common(rec)

@@ -33,6 +33,7 @@ from repro.compiler.instrument import (
     instrument_module,
 )
 from repro.compiler.o3 import optimize_module_o3
+from repro.resilience.budgets import ExecutionBudgets
 from repro.runtime.config import (
     InstrumentationPolicy,
     RuntimeConfig,
@@ -91,18 +92,26 @@ class CompiledProgram:
         args: Tuple = (),
         cost_model: CostModel = DEFAULT_COST_MODEL,
         max_instructions: int = 2_000_000_000,
+        budgets: Optional[ExecutionBudgets] = None,
         **config_kwargs,
     ):
-        """Run the program; instrumented modes also return the runtime."""
+        """Run the program; instrumented modes also return the runtime.
+
+        ``budgets`` bounds the VM (steps/heap/recursion); runtime-layer
+        resilience flows through ``config_kwargs`` (``resilience=...``,
+        ``fault_plan=...``) into the :class:`RuntimeConfig`.
+        """
         if self.mode is BuildMode.BASELINE:
             result = run_module(self.module, entry, args,
                                 cost_model=cost_model,
-                                max_instructions=max_instructions)
+                                max_instructions=max_instructions,
+                                budgets=budgets)
             return result, None
         runtime, hooks = self.make_runtime(cost_model, **config_kwargs)
         result = run_module(self.module, entry, args, hooks=hooks,
                             cost_model=cost_model,
-                            max_instructions=max_instructions)
+                            max_instructions=max_instructions,
+                            budgets=budgets)
         return result, runtime
 
 

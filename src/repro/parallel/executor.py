@@ -21,16 +21,36 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.errors import WorkloadError
+
 
 @dataclass(frozen=True)
 class ParallelMachine:
-    """The simulated shared-memory machine (paper: 2x12-core Xeon)."""
+    """The simulated shared-memory machine (paper: 2x12-core Xeon).
+
+    Fields are validated at construction: a machine with no threads or a
+    negative overhead is nonsensical, and silently clamping it would make
+    speedup figures lie.
+    """
 
     threads: int = 16
     region_startup: int = 150
     per_iteration_overhead: int = 2
     reduction_merge_per_thread: int = 12
     critical_handoff: int = 6
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise WorkloadError(
+                f"ParallelMachine needs at least 1 thread, got {self.threads}"
+            )
+        for name in ("region_startup", "per_iteration_overhead",
+                     "reduction_merge_per_thread", "critical_handoff"):
+            value = getattr(self, name)
+            if value < 0:
+                raise WorkloadError(
+                    f"ParallelMachine.{name} must be >= 0, got {value}"
+                )
 
 
 DEFAULT_MACHINE = ParallelMachine()
@@ -53,7 +73,7 @@ def simulate_parallel_for(
     n = len(iteration_costs)
     if n == 0:
         return 0
-    threads = max(1, machine.threads)
+    threads = machine.threads
     thread_time = [0] * threads
     chain_end = 0  # critical/ordered availability
     chunk = max(1, n // threads)
@@ -94,7 +114,7 @@ def simulate_sections(
     unit of work; more sections than threads queue up)."""
     if not section_costs:
         return serial_extra + machine.region_startup
-    threads = max(1, machine.threads)
+    threads = machine.threads
     load = [0] * threads
     for cost in sorted(section_costs, reverse=True):
         tid = load.index(min(load))

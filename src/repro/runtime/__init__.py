@@ -12,6 +12,17 @@ from repro.runtime.config import (
 from repro.runtime.engine import CarmotHooks, CarmotRuntime, RuntimeStats
 from repro.runtime.fsa import Event, State, classify, step
 from repro.runtime.pipeline import Batch, BatchingPipeline
+from repro.resilience import (
+    DegradationRecord,
+    DegradationReport,
+    ExecutionBudgets,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ResiliencePolicy,
+    parse_budget_spec,
+)
 from repro.runtime.psec import (
     MemoryBudgetExceeded,
     Psec,
@@ -27,4 +38,7 @@ __all__ = [
     "RuntimeStats", "Event", "State", "classify", "step", "Batch",
     "BatchingPipeline", "MemoryBudgetExceeded", "Psec", "PsecEntry",
     "PseKey", "merge_psecs", "CycleReport", "ReachabilityGraph",
+    "DegradationRecord", "DegradationReport", "ExecutionBudgets",
+    "FaultInjector", "FaultKind", "FaultPlan", "FaultSpec",
+    "ResiliencePolicy", "parse_budget_spec",
 ]

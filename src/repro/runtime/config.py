@@ -5,6 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.resilience.budgets import ResiliencePolicy
+from repro.resilience.faultinject import FaultPlan
+
 
 @dataclass(frozen=True)
 class InstrumentationPolicy:
@@ -105,3 +108,9 @@ class RuntimeConfig:
     #: Memory guard: the naive configuration can accumulate unboundedly many
     #: use-callstack records; the paper marks such runs with "*" in Figure 7.
     max_use_records: int = 4_000_000
+    #: Runtime-layer resilience: backpressure, retries, per-ROI event
+    #: budgets, and the degraded-mode switch.  The all-off default keeps
+    #: every PSEC bit-identical to the pre-resilience runtime.
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    #: Deterministic fault-injection schedule (None = no faults).
+    fault_plan: Optional[FaultPlan] = None

@@ -11,11 +11,21 @@ the program's critical path, modelling the shadow-profiling design of §4.6.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.errors import DegradedResult
 from repro.ir.instructions import AccessKind, SourceLoc, VarInfo
 from repro.ir.module import Module
+from repro.resilience.degradation import (
+    ACTION_CLASSIFY_ONLY,
+    ACTION_CONSERVATIVE,
+    ACTION_DELAYED,
+    ACTION_RETRIED,
+    DegradationRecord,
+    DegradationReport,
+)
+from repro.resilience.faultinject import FaultInjector
 from repro.runtime.asmt import Asmt, AsmtEntry
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.events import (
@@ -25,11 +35,18 @@ from repro.runtime.events import (
     EscapeEvent,
     FreeEvent,
 )
-from repro.runtime.pipeline import Batch, BatchingPipeline
+from repro.runtime.pipeline import Batch, BatchingPipeline, Failure
 from repro.runtime.psec import Psec, PseKey
 from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.vm.hooks import ExecutionHooks
 from repro.vm.memory import MemoryObject
+
+#: Conservative set letters applied when an access event is lost or its
+#: ROI is over budget: a read forces Input; a write forces Output plus
+#: Transfer (never Cloneable — the §4.2 merge direction).  The PSE lands
+#: in a conservative superset of its true Sets, never nowhere.
+_CONSERVATIVE_READ = "I"
+_CONSERVATIVE_WRITE = "OT"
 
 
 @dataclass
@@ -63,12 +80,34 @@ class CarmotRuntime:
         self._active: List[Tuple[int, int, int]] = []  # (roi, inv, epoch)
         self._invocations: Dict[int, int] = {roi_id: 0 for roi_id in module.rois}
         self._epochs: Dict[int, int] = {roi_id: 0 for roi_id in module.rois}
+        resilience = self.config.resilience
+        self._resilience = resilience
+        self.degradation = DegradationReport()
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(self.config.fault_plan)
+            if self.config.fault_plan is not None else None
+        )
+        #: Per-ROI event budget state (only consulted when a budget is set,
+        #: keeping the default hot path untouched).
+        self._event_budget = resilience.max_events_per_roi > 0
+        self._roi_event_counts: Dict[int, int] = {
+            roi_id: 0 for roi_id in module.rois
+        }
+        self._budget_tripped: Set[int] = set()
         self.pipeline = BatchingPipeline(
             batch_size=self.config.batch_size,
             process=self._process_batch,
             postprocess=self._postprocess_batch,
             threaded=self.config.threaded,
             worker_count=self.config.worker_count,
+            max_queue_batches=resilience.max_queue_batches,
+            queue_policy=resilience.queue_policy,
+            max_retries=resilience.max_retries,
+            retry_backoff=resilience.retry_backoff,
+            degrade=resilience.degrade,
+            on_degraded=self._apply_degraded_batch,
+            on_retry=self._note_retry,
+            injector=self.injector,
         )
 
     # -- ROI lifecycle ------------------------------------------------------
@@ -99,8 +138,153 @@ class CarmotRuntime:
 
     def finish(self) -> None:
         self.pipeline.close()
+        for seq, delay in self.pipeline.slow_batches:
+            self.degradation.add(DegradationRecord(
+                batch_seq=seq, kind="slow", rois=(), events=0,
+                action=ACTION_DELAYED, sets_complete=True,
+                use_callstacks_complete=True,
+                detail=f"injected {delay} virtual time units of latency",
+            ))
+        for roi_id in self.degradation.degraded_rois():
+            psec = self.psecs.get(roi_id)
+            if psec is None:
+                continue
+            psec.degraded = True
+            psec.degradation_reasons = self.degradation.reasons_for(roi_id)
+            psec.sets_exact = self.degradation.sets_complete_for(roi_id)
+            psec.use_callstacks_complete = (
+                self.degradation.use_callstacks_complete_for(roi_id)
+            )
         for psec in self.psecs.values():
             psec.check_invariants()
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation.degraded
+
+    def require_complete(self) -> None:
+        """Raise :class:`DegradedResult` if the run needed fail-soft
+        intervention (callers that demand exact PSECs)."""
+        if self.degradation.degraded:
+            raise DegradedResult(
+                "profiling run completed in degraded mode: "
+                + self.degradation.summary(),
+                report=self.degradation,
+            )
+
+    # -- event submission ----------------------------------------------------
+
+    def submit(self, event) -> None:
+        """Route one event into the pipeline, honouring per-ROI budgets."""
+        if self._event_budget:
+            event = self._filter_event(event)
+            if event is None:
+                return
+        self.pipeline.push(event)
+
+    def _filter_event(self, event):
+        """Per-ROI event budget: past the limit an ROI stops full FSA/
+        use-callstack tracking and records conservative letters instead.
+
+        Returns the (possibly narrowed) event to push, or None if every
+        active ROI is over budget and the event was fully converted.
+        """
+        active = getattr(event, "active", ())
+        if not active:
+            return event
+        limit = self._resilience.max_events_per_roi
+        over: List[Tuple[int, int, int]] = []
+        under: List[Tuple[int, int, int]] = []
+        for entry in active:
+            roi_id = entry[0]
+            count = self._roi_event_counts.get(roi_id, 0) + 1
+            self._roi_event_counts[roi_id] = count
+            if count > limit:
+                over.append(entry)
+                if roi_id not in self._budget_tripped:
+                    self._budget_tripped.add(roi_id)
+                    self.degradation.add(DegradationRecord(
+                        batch_seq=-1, kind="event-budget", rois=(roi_id,),
+                        events=0, action=ACTION_CLASSIFY_ONLY,
+                        sets_complete=False, use_callstacks_complete=False,
+                        detail=(f"ROI {roi_id} exceeded {limit} events; "
+                                "switched to conservative classification"),
+                    ))
+            else:
+                under.append(entry)
+        if not over or type(event) is not AccessEvent:
+            # Non-access events (alloc/escape/free/classify) are rare and
+            # keep the ASMT and reachability graph complete: forward them
+            # unchanged even past the budget.
+            return event
+        letters = _CONSERVATIVE_WRITE if event.is_write else _CONSERVATIVE_READ
+        self.pipeline.push(ClassifyEvent(
+            states=letters, obj_id=event.obj_id, offset=event.offset,
+            size=event.size, count=event.count, stride=event.stride,
+            var=event.var, loc=event.loc, active=tuple(over),
+            time=event.time,
+        ))
+        if not under:
+            return None
+        return replace(event, active=tuple(under))
+
+    # -- degraded-mode fallback ----------------------------------------------
+
+    def _note_retry(self, batch: Batch, attempt: int,
+                    exc: BaseException) -> None:
+        """A batch failed and is being retried (recoverable): nothing is
+        lost, but the run needed intervention — record it."""
+        rois: Set[int] = set()
+        for event in batch.events:
+            for entry in getattr(event, "active", ()):
+                rois.add(entry[0])
+        self.degradation.add(DegradationRecord(
+            batch_seq=batch.seq, kind="worker_crash",
+            rois=tuple(sorted(rois)), events=len(batch.events),
+            action=ACTION_RETRIED, sets_complete=True,
+            use_callstacks_complete=True,
+            detail=f"attempt {attempt}: {type(exc).__name__}: {exc}",
+        ))
+
+    def _apply_degraded_batch(self, batch: Batch, failure: Failure) -> None:
+        """A batch is unrecoverable (retries exhausted, dropped, or shed):
+        apply conservative classification instead of the full FSA.
+
+        Reads force Input, writes force Output+Transfer; allocations,
+        escapes, and frees still apply exactly (they are order-insensitive
+        here), so the ASMT and reachability graph never lose nodes.  Runs
+        in batch sequence order via the pipeline's reorder buffer.
+        """
+        kind, detail = failure
+        rois: Set[int] = set()
+        for event in batch.events:
+            etype = type(event)
+            if etype is AccessEvent:
+                letters = (_CONSERVATIVE_WRITE if event.is_write
+                           else _CONSERVATIVE_READ)
+                for key, var in self._keys_for(event):
+                    for roi_id, _, _ in event.active:
+                        self.psecs[roi_id].force_classification(
+                            key, var, letters, event.time
+                        )
+                        rois.add(roi_id)
+            elif etype is ClassifyEvent:
+                self._apply_classify(event)
+                rois.update(entry[0] for entry in event.active)
+            elif etype is AllocEvent:
+                self._apply_alloc(event)
+                rois.update(entry[0] for entry in event.active)
+            elif etype is EscapeEvent:
+                self._apply_escape(event)
+                rois.update(entry[0] for entry in event.active)
+            elif etype is FreeEvent:
+                self._apply_free(event)
+        self.degradation.add(DegradationRecord(
+            batch_seq=batch.seq, kind=kind, rois=tuple(sorted(rois)),
+            events=len(batch.events), action=ACTION_CONSERVATIVE,
+            sets_complete=False, use_callstacks_complete=False,
+            detail=detail,
+        ))
 
     # -- batch stages --------------------------------------------------------
 
@@ -258,7 +442,7 @@ class CarmotHooks(ExecutionHooks):
                              else self.cm.use_callstack_walk)
                 if runtime.config.inline_processing:
                     cost += self.cm.inline_process * max(1, count)
-                runtime.pipeline.push(
+                runtime.submit(
                     AccessEvent(
                         is_write=kind is AccessKind.WRITE,
                         obj_id=obj.obj_id,
@@ -288,7 +472,7 @@ class CarmotHooks(ExecutionHooks):
             obj = self._object_for(addr)
             if obj is not None:
                 runtime.stats.classify_events += 1
-                runtime.pipeline.push(
+                runtime.submit(
                     ClassifyEvent(
                         states=states,
                         obj_id=obj.obj_id,
@@ -316,7 +500,7 @@ class CarmotHooks(ExecutionHooks):
             src = self._object_for(dest_addr)
             if dst is not None and src is not None and src is not dst:
                 runtime.stats.escape_events += 1
-                runtime.pipeline.push(
+                runtime.submit(
                     EscapeEvent(
                         src_obj=src.obj_id,
                         src_offset=dest_addr - src.base,
@@ -346,7 +530,7 @@ class CarmotHooks(ExecutionHooks):
             cost += self._callstack_cost(len(obj.alloc_callstack))
             runtime.stats.callstack_captures += 1
         runtime.stats.alloc_events += 1
-        runtime.pipeline.push(
+        runtime.submit(
             AllocEvent(
                 obj_id=obj.obj_id,
                 size=obj.size,
@@ -363,7 +547,7 @@ class CarmotHooks(ExecutionHooks):
         return cost
 
     def on_free(self, obj: MemoryObject) -> int:
-        self.runtime.pipeline.push(
+        self.runtime.submit(
             FreeEvent(obj.obj_id, self.runtime.active_snapshot(),
                       self.vm.instructions)
         )
@@ -403,7 +587,7 @@ class CarmotHooks(ExecutionHooks):
         if runtime.config.policy.track_sets:
             obj = self._object_for(addr)
             if obj is not None:
-                runtime.pipeline.push(
+                runtime.submit(
                     AccessEvent(
                         is_write=kind is AccessKind.WRITE,
                         obj_id=obj.obj_id,

@@ -1,4 +1,4 @@
-"""The batching pipeline of §4.6.
+"""The batching pipeline of §4.6, hardened for fail-soft operation.
 
 Instrumentation pushes events into the current batch; full batches enter an
 ordered queue.  *Processing* (worker stage: per-event resolution work) may
@@ -14,6 +14,27 @@ Two modes:
 - threaded: worker threads drain the filled-batch queue concurrently and a
   reorder buffer restores sequence order before postprocessing, mirroring
   the Master/Shadow + Worker structure of Figure 5.
+
+Resilience (all off by default; defaults reproduce the pre-hardening
+behaviour bit for bit):
+
+- **prompt error propagation** — a worker failure re-raises on the *next*
+  ``push()``/``flush()``, not only at ``close()``; the stored error is
+  retained, so repeated ``close()`` calls keep reporting it;
+- **backpressure** — ``max_queue_batches`` bounds the filled-batch queue;
+  the producer either blocks (``queue_policy="block"``) or sheds the batch
+  into degraded mode (``"shed"``);
+- **bounded retry** — a failed batch is retried up to ``max_retries``
+  times with exponential backoff charged to a deterministic *virtual*
+  clock (``virtual_backoff``), never to the profiled program's critical
+  path;
+- **degraded mode** — with ``degrade=True`` an unrecoverable batch is
+  handed to ``on_degraded(batch, (kind, detail))`` in sequence order
+  instead of raising, so the runtime can fall back to conservative
+  classification;
+- **fault injection** — an optional :class:`repro.resilience.FaultInjector`
+  fires deterministic, seed-driven crashes/drops/slowdowns keyed by batch
+  sequence number (identical fault streams in both pipeline modes).
 """
 
 from __future__ import annotations
@@ -22,9 +43,13 @@ import heapq
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import RuntimeToolError
+from repro.resilience.faultinject import FaultInjector
+
+#: A batch failure classification: (kind, human-readable detail).
+Failure = Tuple[str, str]
 
 
 @dataclass
@@ -37,8 +62,9 @@ class BatchingPipeline:
     """Order-preserving two-stage batch pipeline.
 
     ``process`` runs per batch (parallelizable stage); ``postprocess`` runs
-    per batch in sequence order (FSA application).  Exceptions raised in the
-    threaded workers are re-raised on ``close()``.
+    per batch in sequence order (FSA application).  Exceptions raised in
+    the threaded workers are re-raised on the next producer call
+    (``push``/``flush``/``close``).
     """
 
     def __init__(
@@ -48,20 +74,56 @@ class BatchingPipeline:
         postprocess: Callable[[Batch], None],
         threaded: bool = False,
         worker_count: int = 2,
+        max_queue_batches: int = 0,
+        queue_policy: str = "block",
+        max_retries: int = 0,
+        retry_backoff: int = 100,
+        degrade: bool = False,
+        on_degraded: Optional[Callable[[Batch, Failure], None]] = None,
+        on_retry: Optional[
+            Callable[[Batch, int, BaseException], None]] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         if batch_size < 1:
             raise RuntimeToolError("batch_size must be >= 1")
+        if queue_policy not in ("block", "shed"):
+            raise RuntimeToolError(
+                f"unknown queue policy {queue_policy!r}"
+            )
+        if queue_policy == "shed" and not degrade:
+            raise RuntimeToolError(
+                "queue policy 'shed' requires degrade=True"
+            )
         self._batch_size = batch_size
         self._process = process
         self._postprocess = postprocess
         self._threaded = threaded
+        self._queue_policy = queue_policy
+        self._max_retries = max_retries
+        self._retry_backoff = retry_backoff
+        self._degrade = degrade
+        self._on_degraded = on_degraded
+        self._on_retry = on_retry
+        self._injector = injector
         self._seq = 0
         self._current = Batch(seq=0)
+        self._closed = False
         self.batches_processed = 0
+        self.batches_degraded = 0
+        self.batches_shed = 0
         self.events_seen = 0
+        self.retries = 0
+        #: Deterministic shadow-clock charges: retry backoff and injected
+        #: slow-batch latency.  Never charged to the program's cost.
+        self.virtual_backoff = 0
+        self.virtual_delay = 0
+        #: (seq, delay) pairs of injected slow batches, for reporting.
+        self.slow_batches: List[Tuple[int, int]] = []
         self._error: Optional[BaseException] = None
         if threaded:
-            self._queue: "queue.Queue[Optional[Batch]]" = queue.Queue()
+            self._queue: "queue.Queue[Optional[Batch]]" = queue.Queue(
+                maxsize=max_queue_batches
+            )
             self._done_lock = threading.Lock()
             self._reorder: List = []
             self._next_post = 0
@@ -74,53 +136,167 @@ class BatchingPipeline:
 
     # -- producer side -------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def push(self, event: object) -> None:
+        if self._closed:
+            raise RuntimeToolError("push() on a closed pipeline")
+        if self._error is not None:
+            self._raise_pending()
         self.events_seen += 1
         self._current.events.append(event)
         if len(self._current.events) >= self._batch_size:
             self.flush()
 
     def flush(self) -> None:
+        if self._closed:
+            raise RuntimeToolError("flush() on a closed pipeline")
+        self._raise_pending()
+        self._flush_current()
+
+    def _flush_current(self) -> None:
         if not self._current.events:
             return
         batch = self._current
         self._seq += 1
         self._current = Batch(seq=self._seq)
         if self._threaded:
-            self._raise_pending()
-            self._queue.put(batch)
+            self._enqueue(batch)
         else:
-            self._postprocess(self._process(batch))
-            self.batches_processed += 1
+            processed, failure = self._process_guarded(batch)
+            if failure is None:
+                self._postprocess(processed)
+                self.batches_processed += 1
+            else:
+                self._degrade_batch(batch, failure)
 
     def close(self) -> None:
-        """Flush the partial batch and drain all workers."""
-        self.flush()
-        if self._threaded:
-            for _ in self._workers:
-                self._queue.put(None)
-            for worker in self._workers:
-                worker.join()
-            self._drain_reorder(final=True)
+        """Flush the partial batch and drain all workers.
+
+        Idempotent: a second ``close()`` neither re-drains nor swallows a
+        pending worker error — the error re-raises on every call until the
+        pipeline is discarded.
+        """
+        if self._closed:
             self._raise_pending()
+            return
+        self._closed = True
+        try:
+            self._flush_current()
+        finally:
+            if self._threaded:
+                for _ in self._workers:
+                    self._queue.put(None)
+                for worker in self._workers:
+                    worker.join()
+                self._drain_reorder(final=True)
+        self._raise_pending()
+
+    # -- failure handling -----------------------------------------------------
+
+    def _process_guarded(
+        self, batch: Batch
+    ) -> Tuple[Batch, Optional[Failure]]:
+        """Process one batch under the fault injector and retry policy.
+
+        Returns ``(processed, None)`` on success or ``(original, failure)``
+        when the batch must enter degraded mode.  Raises when the batch is
+        unrecoverable and degraded mode is off.
+        """
+        injector = self._injector
+        if injector is not None:
+            kind = injector.drop_kind(batch.seq)
+            if kind is not None:
+                failure = (kind.value,
+                           f"injected {kind.value} at batch {batch.seq}")
+                if not self._degrade:
+                    raise RuntimeToolError(
+                        f"batch {batch.seq} lost to injected {kind.value} "
+                        "(enable degrade to fall back)"
+                    )
+                return batch, failure
+            delay = injector.delay_for(batch.seq)
+            if delay:
+                self.virtual_delay += delay
+                self.slow_batches.append((batch.seq, delay))
+        attempt = 0
+        while True:
+            try:
+                if injector is not None:
+                    injector.fire(batch.seq, attempt)
+                return self._process(batch), None
+            except BaseException as exc:
+                if attempt >= self._max_retries:
+                    if self._degrade:
+                        return batch, (
+                            "worker_crash",
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    raise
+                attempt += 1
+                self.retries += 1
+                # Exponential backoff in deterministic virtual time: the
+                # total depends only on which batches retried how often,
+                # not on scheduling.
+                self.virtual_backoff += self._retry_backoff * (
+                    1 << (attempt - 1)
+                )
+                if self._on_retry is not None:
+                    self._on_retry(batch, attempt, exc)
+
+    def _degrade_batch(self, batch: Batch, failure: Failure) -> None:
+        self.batches_degraded += 1
+        if self._on_degraded is not None:
+            self._on_degraded(batch, failure)
 
     # -- threaded internals -----------------------------------------------------
+
+    def _enqueue(self, batch: Batch) -> None:
+        if self._queue_policy == "shed" and self._queue.maxsize > 0:
+            try:
+                self._queue.put_nowait(batch)
+            except queue.Full:
+                self.batches_shed += 1
+                self._fail_ordered(batch, (
+                    "shed", f"batch {batch.seq} shed: queue full"
+                ))
+            return
+        # "block" policy: a bounded queue makes this call apply
+        # backpressure to the producer until a worker frees a slot.
+        self._queue.put(batch)
+
+    def _fail_ordered(self, batch: Batch, failure: Failure) -> None:
+        """Route a failed batch through the reorder buffer so degraded
+        fallback still runs in sequence order with postprocessing."""
+        with self._done_lock:
+            heapq.heappush(
+                self._reorder, (batch.seq, id(batch), batch, failure)
+            )
+            self._drain_reorder_locked()
 
     def _worker_loop(self) -> None:
         while True:
             batch = self._queue.get()
             if batch is None:
                 return
+            if self._error is not None:
+                # Poisoned pipeline: keep draining so a producer blocked
+                # on a bounded queue wakes up and sees the error.
+                continue
             try:
-                processed = self._process(batch)
-            except BaseException as exc:  # surfaced on close()
+                processed, failure = self._process_guarded(batch)
+            except BaseException as exc:  # surfaced on next producer call
                 with self._done_lock:
                     if self._error is None:
                         self._error = exc
-                return
+                continue
             with self._done_lock:
-                heapq.heappush(self._reorder, (processed.seq, id(processed),
-                                               processed))
+                heapq.heappush(
+                    self._reorder,
+                    (batch.seq, id(batch), processed, failure),
+                )
                 self._drain_reorder_locked()
 
     def _drain_reorder(self, final: bool = False) -> None:
@@ -134,17 +310,24 @@ class BatchingPipeline:
 
     def _drain_reorder_locked(self) -> None:
         while self._reorder and self._reorder[0][0] == self._next_post:
-            _, _, batch = heapq.heappop(self._reorder)
-            try:
-                self._postprocess(batch)
-            except BaseException as exc:
-                if self._error is None:
-                    self._error = exc
-                return
-            self.batches_processed += 1
+            _, _, batch, failure = heapq.heappop(self._reorder)
             self._next_post += 1
+            if failure is None:
+                try:
+                    self._postprocess(batch)
+                except BaseException as exc:
+                    if self._error is None:
+                        self._error = exc
+                    return
+                self.batches_processed += 1
+            else:
+                try:
+                    self._degrade_batch(batch, failure)
+                except BaseException as exc:
+                    if self._error is None:
+                        self._error = exc
+                    return
 
     def _raise_pending(self) -> None:
         if self._error is not None:
-            error, self._error = self._error, None
-            raise error
+            raise self._error

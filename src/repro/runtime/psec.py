@@ -101,6 +101,19 @@ class Psec:
     allocated_in_roi: Set[int] = field(default_factory=set)
     use_records: int = 0
     total_accesses: int = 0
+    #: Set when the run needed fail-soft intervention for this ROI (budget
+    #: trip, worker crash, dropped/shed batch).  A degraded PSEC's Sets are
+    #: conservative supersets — a PSE may move to Transfer instead of
+    #: Cloneable, or gain Input/Output letters, but is never silently
+    #: dropped; Use-callstacks may be incomplete (see
+    #: ``use_callstacks_complete``).
+    degraded: bool = False
+    #: Machine-readable reasons (record kinds) behind ``degraded``.
+    degradation_reasons: List[str] = field(default_factory=list)
+    #: False when degradation lost use-callstack context for this ROI.
+    use_callstacks_complete: bool = True
+    #: False when the Sets are conservative supersets rather than exact.
+    sets_exact: bool = True
 
     def entry(self, key: PseKey, var: Optional[VarInfo] = None) -> PsecEntry:
         existing = self.entries.get(key)

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import TrapError, VMError
+from repro.errors import BudgetExceeded, TrapError, VMError
+from repro.resilience.budgets import ExecutionBudgets
 from repro.lang import types as ct
 from repro.ir.instructions import (
     AccessKind,
@@ -96,12 +97,23 @@ class Interpreter:
         hooks: Optional[ExecutionHooks] = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         max_instructions: int = 2_000_000_000,
+        budgets: Optional[ExecutionBudgets] = None,
     ) -> None:
         self.module = module
         self.hooks = hooks or ExecutionHooks()
         self.cost_model = cost_model
         self.max_instructions = max_instructions
+        #: Execution guards: a misbehaving program trips a
+        #: :class:`BudgetExceeded` (a TrapError the profiler can catch)
+        #: instead of exhausting host memory or Python recursion.
+        self.budgets = budgets
+        self.max_recursion_depth = 0
         self.memory = Memory()
+        if budgets is not None:
+            if budgets.max_steps:
+                self.max_instructions = budgets.max_steps
+            self.max_recursion_depth = budgets.max_recursion_depth
+            self.memory.heap_limit = budgets.max_heap_bytes
         self.rng = Xorshift64()
         self.output: List[str] = []
         self.cost = 0
@@ -226,7 +238,7 @@ class Interpreter:
             self.instructions += 1
             self.memory.clock = self.instructions
             if self.instructions > self.max_instructions:
-                raise TrapError("instruction budget exceeded")
+                raise BudgetExceeded("instruction budget exceeded")
             cost_before = self.cost if trace else 0
             kind = type(instr)
             if kind is Load:
@@ -460,6 +472,12 @@ class Interpreter:
             # A conservatively-gated call toggles the Pintool even though
             # the target turns out to be instrumented code (§4.4.6).
             self.cost += self.hooks.on_pin_attach()
+        if (self.max_recursion_depth
+                and len(self._frames) >= self.max_recursion_depth):
+            raise BudgetExceeded(
+                f"recursion depth budget exceeded "
+                f"({self.max_recursion_depth} frames) calling {name!r}"
+            )
         callee_frame = _Frame(function, instr.result)
         for index, value in enumerate(args):
             callee_frame.temps[f"arg{index}"] = value
@@ -508,7 +526,8 @@ def run_module(
     hooks: Optional[ExecutionHooks] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     max_instructions: int = 2_000_000_000,
+    budgets: Optional[ExecutionBudgets] = None,
 ) -> RunResult:
     """Convenience wrapper: run ``module`` once and return the result."""
-    interp = Interpreter(module, hooks, cost_model, max_instructions)
+    interp = Interpreter(module, hooks, cost_model, max_instructions, budgets)
     return interp.run(entry, args)

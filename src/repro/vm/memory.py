@@ -19,7 +19,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import MemoryFault
+from repro.errors import BudgetExceeded, MemoryFault
 from repro.lang import types as ct
 from repro.ir.instructions import SourceLoc, VarInfo
 
@@ -82,6 +82,9 @@ class Memory:
         self.clock = 0  # logical time, bumped by the interpreter
         self.heap_bytes_allocated = 0
         self.heap_bytes_freed = 0
+        #: Live-heap budget in bytes (0 = unlimited); allocations past it
+        #: raise :class:`BudgetExceeded` instead of growing host memory.
+        self.heap_limit = 0
 
     @staticmethod
     def _segment_of(addr: int) -> str:
@@ -105,6 +108,13 @@ class Memory:
         if size < 0:
             raise MemoryFault(f"negative allocation size {size}")
         size = max(size, 1)
+        if kind == "heap" and self.heap_limit:
+            live = self.heap_bytes_allocated - self.heap_bytes_freed
+            if live + size > self.heap_limit:
+                raise BudgetExceeded(
+                    f"heap budget exceeded: {live} bytes live + {size} "
+                    f"requested > limit {self.heap_limit}"
+                )
         base = self._next[kind]
         # Pad with a guard byte so adjacent objects are never contiguous and
         # off-by-one pointers fault instead of silently touching a neighbour.
