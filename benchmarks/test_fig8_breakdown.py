@@ -6,7 +6,13 @@ The paper reports that Pin-instrumentation reduction and the call-graph
 
 import pytest
 
-from repro.harness import BREAKDOWN_GROUPS, figure8, render_breakdown
+from repro.harness import (
+    BREAKDOWN_GROUPS,
+    breakdown_pipeline,
+    figure8,
+    render_breakdown,
+)
+from repro.passes import parse_pipeline
 from repro.workloads import ALL_WORKLOADS, workload
 
 # The breakdown needs 6 compilations+runs per benchmark; a representative
@@ -37,6 +43,20 @@ def test_shares_normalize_to_100(rows):
 def test_four_groups_reported(rows):
     for row in rows:
         assert set(row.shares) == set(BREAKDOWN_GROUPS)
+
+
+def test_breakdown_configs_are_named_pipelines():
+    """Each Figure-8 configuration is a parseable -passes= description
+    that drops exactly the passes behind its disabled toggles."""
+    full = set(parse_pipeline("carmot"))
+    for group, toggles in BREAKDOWN_GROUPS.items():
+        names = parse_pipeline(breakdown_pipeline(toggles))
+        assert names == [n for n in parse_pipeline("carmot") if n in names]
+        missing = full - set(names)
+        if group == "callstack_clustering":  # runtime knob: no pass removed
+            assert not missing
+        else:
+            assert missing, group
 
 
 def test_pin_and_callgraph_dominate_overall(rows):

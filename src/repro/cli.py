@@ -20,10 +20,13 @@ from typing import List, Optional
 
 from repro.abstractions import describe_pse, recommend
 from repro.compiler import (
+    BuildMode,
     CarmotOptions,
+    CompiledProgram,
     compile_baseline,
     compile_carmot,
     compile_naive,
+    compile_pipeline,
     frontend,
 )
 from repro.errors import ReproError
@@ -55,9 +58,35 @@ def _print_degradation(runtime) -> None:
               file=sys.stderr)
 
 
+def _compile_instrumented(args: argparse.Namespace,
+                          source: str) -> CompiledProgram:
+    """The profiling build for recommend/psec: full CARMOT by default, an
+    explicit ``--passes`` pipeline when given."""
+    if getattr(args, "passes", None):
+        program = compile_pipeline(source, args.passes, args.abstraction,
+                                   name=args.file)
+        if program.mode is BuildMode.BASELINE:
+            raise ReproError(
+                f"pipeline {args.passes!r} has no instrumenter; append "
+                "'instrument' (or 'naive-instrument') to profile"
+            )
+    else:
+        program = compile_carmot(source, args.abstraction, name=args.file)
+    _maybe_print_pass_stats(args, program)
+    return program
+
+
+def _maybe_print_pass_stats(args: argparse.Namespace,
+                            program: CompiledProgram) -> None:
+    if getattr(args, "print_pass_stats", False) \
+            and program.pass_report is not None:
+        print(program.pass_report.render())
+        print()
+
+
 def _cmd_recommend(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    program = compile_carmot(source, args.abstraction, name=args.file)
+    program = _compile_instrumented(args, source)
     result, runtime = program.run(entry=args.entry, **_run_kwargs(args))
     _print_degradation(runtime)
     if args.show_output:
@@ -77,7 +106,7 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 def _cmd_psec(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    program = compile_carmot(source, args.abstraction, name=args.file)
+    program = _compile_instrumented(args, source)
     _, runtime = program.run(entry=args.entry, **_run_kwargs(args))
     _print_degradation(runtime)
     for roi_id, psec in sorted(runtime.psecs.items()):
@@ -107,8 +136,9 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
         entry=args.entry, budgets=kwargs.get("budgets"))
     naive, _ = compile_naive(source, args.abstraction,
                              name=args.file).run(entry=args.entry, **kwargs)
-    carmot, _ = compile_carmot(source, args.abstraction,
-                               name=args.file).run(entry=args.entry, **kwargs)
+    # --passes swaps out the CARMOT leg of the comparison.
+    program = _compile_instrumented(args, source)
+    carmot, _ = program.run(entry=args.entry, **kwargs)
     print(f"baseline cost : {base.cost}")
     print(f"naive         : {naive.cost}  ({naive.cost / base.cost:.1f}x)")
     print(f"carmot        : {carmot.cost}  ({carmot.cost / base.cost:.1f}x)")
@@ -118,9 +148,16 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 
 def _cmd_ir(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    if args.mode == "carmot":
-        module = compile_carmot(source, args.abstraction,
-                                name=args.file).module
+    if getattr(args, "passes", None):
+        # An explicit pipeline overrides --mode.
+        program = compile_pipeline(source, args.passes, args.abstraction,
+                                   name=args.file)
+        _maybe_print_pass_stats(args, program)
+        module = program.module
+    elif args.mode == "carmot":
+        program = compile_carmot(source, args.abstraction, name=args.file)
+        _maybe_print_pass_stats(args, program)
+        module = program.module
     elif args.mode == "naive":
         module = compile_naive(source, args.abstraction,
                                name=args.file).module
@@ -164,6 +201,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="pipeline batch size (smaller values create more batches "
                  "— useful with --fault-plan, whose faults target batch "
                  "sequence numbers)",
+        )
+        p.add_argument(
+            "--passes", default=None, metavar="PIPELINE",
+            help="explicit pass pipeline à la LLVM's -passes=, e.g. "
+                 "'carmot,-pin-reduction' or 'selective-mem2reg,instrument' "
+                 "(aliases: carmot, naive, baseline; '-name' removes a pass)",
+        )
+        p.add_argument(
+            "--print-pass-stats", action="store_true",
+            help="print per-pass wall time, analysis cache hits/misses, "
+                 "and IR deltas for the compilation pipeline",
         )
 
     rec = sub.add_parser("recommend", help="print recommendations (default)")

@@ -9,13 +9,19 @@ Three build modes mirror the evaluation's three measurement subjects:
   callstack clustering;
 - **carmot**   — the full pipeline of §4.4/§4.5 (individually toggleable
   for the Figure 8 breakdown).
+
+All three are thin wrappers over :func:`compile_pipeline`: each mode is a
+named pass pipeline run by the :class:`~repro.passes.manager.PassManager`
+(``baseline`` → ``o3``; ``naive`` → ``naive-instrument``; ``carmot`` →
+the seven-optimization sequence).  Custom pipelines — e.g. the CLI's
+``--passes carmot,-pin-reduction`` — go through the same path.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.lang.parser import parse
 from repro.lang.sema import analyze
@@ -25,14 +31,15 @@ from repro.ir.verifier import verify_module
 from repro.compiler.carmot import (
     CarmotBuildInfo,
     CarmotOptions,
-    apply_carmot,
+    carmot_pass_names,
 )
-from repro.compiler.instrument import (
-    InstrumentationPlan,
-    InstrumentationReport,
-    instrument_module,
+from repro.compiler.instrument import InstrumentationReport
+from repro.passes.manager import (
+    PassManager,
+    PassTimingReport,
+    PipelineContext,
 )
-from repro.compiler.o3 import optimize_module_o3
+from repro.passes.registry import parse_pipeline
 from repro.resilience.budgets import ExecutionBudgets
 from repro.runtime.config import (
     InstrumentationPolicy,
@@ -61,6 +68,7 @@ class CompiledProgram:
     options: Optional[CarmotOptions] = None
     build_info: Optional[CarmotBuildInfo] = None
     report: Optional[InstrumentationReport] = None
+    pass_report: Optional[PassTimingReport] = None
 
     def make_runtime(
         self,
@@ -132,11 +140,53 @@ def _resolve_abstraction(module: Module,
     return None
 
 
-def compile_baseline(source: str, name: str = "program") -> CompiledProgram:
+def compile_pipeline(
+    source: str,
+    pipeline: Union[str, Sequence[str]],
+    abstraction: Optional[str] = None,
+    options: Optional[CarmotOptions] = None,
+    name: str = "program",
+) -> CompiledProgram:
+    """Compile with an explicit pass pipeline (text or list of names).
+
+    The build mode follows from the instrumenter in the pipeline:
+    ``naive-instrument`` → NAIVE, ``instrument`` → CARMOT, neither →
+    BASELINE (uninstrumented).  ``options`` only feeds runtime knobs and
+    build metadata — which passes run is decided by ``pipeline`` alone.
+    """
+    names = parse_pipeline(pipeline)
     module = frontend(source, name)
-    optimize_module_o3(module)
+    if "naive-instrument" in names:
+        mode = BuildMode.NAIVE
+        policy: Optional[InstrumentationPolicy] = naive_policy_for(
+            _resolve_abstraction(module, abstraction)
+        )
+    elif "instrument" in names:
+        mode = BuildMode.CARMOT
+        policy = policy_for(_resolve_abstraction(module, abstraction))
+    else:
+        mode = BuildMode.BASELINE
+        policy = None
+    info: Optional[CarmotBuildInfo] = None
+    if mode is BuildMode.CARMOT:
+        options = options or CarmotOptions()
+        info = CarmotBuildInfo(options=options)
+    ctx = PipelineContext(policy=policy, build_info=info)
+    manager = PassManager(names, ctx)
+    pass_report = manager.run(module)
+    if info is not None:
+        info.pass_report = pass_report
     verify_module(module)
-    return CompiledProgram(module, BuildMode.BASELINE)
+    return CompiledProgram(
+        module, mode, policy=policy,
+        options=options if mode is BuildMode.CARMOT else None,
+        build_info=info, report=ctx.instrument_report,
+        pass_report=pass_report,
+    )
+
+
+def compile_baseline(source: str, name: str = "program") -> CompiledProgram:
+    return compile_pipeline(source, "baseline", name=name)
 
 
 def compile_naive(
@@ -144,12 +194,8 @@ def compile_naive(
     abstraction: Optional[str] = None,
     name: str = "program",
 ) -> CompiledProgram:
-    module = frontend(source, name)
-    policy = naive_policy_for(_resolve_abstraction(module, abstraction))
-    report = instrument_module(module, InstrumentationPlan.naive(policy))
-    verify_module(module)
-    return CompiledProgram(module, BuildMode.NAIVE, policy=policy,
-                           report=report)
+    return compile_pipeline(source, "naive", abstraction=abstraction,
+                            name=name)
 
 
 def compile_carmot(
@@ -157,12 +203,12 @@ def compile_carmot(
     abstraction: Optional[str] = None,
     options: Optional[CarmotOptions] = None,
     name: str = "program",
+    pipeline: Optional[Union[str, Sequence[str]]] = None,
 ) -> CompiledProgram:
-    module = frontend(source, name)
-    policy = policy_for(_resolve_abstraction(module, abstraction))
+    """Compile the full CARMOT build (or a custom ``pipeline`` override;
+    by default the pipeline is derived from ``options``)."""
     options = options or CarmotOptions()
-    info = apply_carmot(module, policy, options)
-    verify_module(module)
-    return CompiledProgram(module, BuildMode.CARMOT, policy=policy,
-                           options=options, build_info=info,
-                           report=info.report)
+    if pipeline is None:
+        pipeline = carmot_pass_names(options)
+    return compile_pipeline(source, pipeline, abstraction=abstraction,
+                            options=options, name=name)

@@ -33,6 +33,9 @@ from repro.ir.instructions import (
 )
 from repro.ir.module import Block, Function, Module
 from repro.ir.values import Temp
+from repro.errors import ReproError
+from repro.passes.manager import Pass
+from repro.passes.registry import register_pass
 from repro.runtime.config import InstrumentationPolicy
 
 
@@ -182,3 +185,46 @@ def _gate_call(instr: Call, plan: InstrumentationPlan,
     if plan.gate_all_calls:
         instr.pin_gated = True
         report.pin_gates += 1
+
+
+# ---------------------------------------------------------------------------
+# Registered passes
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class InstrumentPass(Pass):
+    """Materialize the pipeline's accumulated plan into probe IR.
+
+    With no planning passes ahead of it the plan is empty, so this gates
+    every call and probes every access under the context's policy."""
+
+    name = "instrument"
+    mutates_ir = True
+
+    def run(self, module, am, ctx) -> bool:
+        report = instrument_module(module, ctx.ensure_plan())
+        ctx.instrument_report = report
+        if ctx.build_info is not None:
+            ctx.build_info.report = report
+        return True
+
+
+@register_pass
+class NaiveInstrumentPass(Pass):
+    """The no-PSEC-specific-optimization instrumenter of Figures 7/10/11:
+    probe every access, gate every call, ignore any accumulated plan."""
+
+    name = "naive-instrument"
+    mutates_ir = True
+
+    def run(self, module, am, ctx) -> bool:
+        if ctx.policy is None:
+            raise ReproError("naive-instrument needs an instrumentation "
+                             "policy in the pipeline context")
+        ctx.plan = InstrumentationPlan.naive(ctx.policy)
+        report = instrument_module(module, ctx.plan)
+        ctx.instrument_report = report
+        if ctx.build_info is not None:
+            ctx.build_info.report = report
+        return True

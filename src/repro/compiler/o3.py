@@ -1,25 +1,7 @@
-"""The conventional ``-O3`` analogue: full mem2reg + scalar opts + cleanup.
+"""Back-compat shim: the ``-O3`` analogue now lives in
+:mod:`repro.compiler.opts`, next to the scalar pieces it composes (one
+implementation, registered once in the pass registry as ``o3``)."""
 
-Running this on a function erases the variable↔IR mapping (promoted locals
-no longer exist in memory), which is why CARMOT may only apply it to
-functions that can never be on the callstack when an ROI starts (§4.4.5) —
-and why the *baseline* build (the overhead denominator, "clang -O3") runs
-it on everything.
-"""
+from repro.compiler.opts import optimize_module_o3, optimize_o3
 
-from __future__ import annotations
-
-from repro.ir.module import Function, Module
-from repro.compiler.mem2reg import promote_allocas
-from repro.compiler.opts import optimize_function
-
-
-def optimize_o3(function: Function) -> None:
-    promote_allocas(function)
-    optimize_function(function)
-    function.conventionally_optimized = True
-
-
-def optimize_module_o3(module: Module) -> None:
-    for function in module.functions.values():
-        optimize_o3(function)
+__all__ = ["optimize_module_o3", "optimize_o3"]

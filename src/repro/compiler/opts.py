@@ -1,9 +1,16 @@
-"""Conventional scalar optimizations (the ``-O3`` analogue's pieces).
+"""Conventional optimizations (the ``-O3`` analogue), in one place.
 
-Constant folding, trivial-cast copy propagation, dead code elimination, and
-CFG cleanup (constant-branch folding, straight-line block merging).  These
-run on every function for the baseline build, and on provably-ROI-free
-functions for the call-graph optimization of §4.4.5.
+Constant folding, trivial-cast copy propagation, dead code elimination,
+CFG cleanup (constant-branch folding, straight-line block merging), and
+the full ``-O3`` composition (mem2reg + scalar-opt fixed point).  One
+implementation serves every consumer: the baseline build runs
+:func:`optimize_module_o3` on everything, and the call-graph optimization
+of §4.4.5 runs :func:`optimize_o3` on provably-ROI-free functions —
+erasing the variable↔IR mapping is only legal where PSEC provably cannot
+care.
+
+The module-level entry points are also registered as passes (``o3``,
+``mem2reg``, ``cleanup``) so pipelines can name them.
 """
 
 from __future__ import annotations
@@ -30,8 +37,11 @@ from repro.ir.instructions import (
     RoiEnd,
     Store,
 )
-from repro.ir.module import Block, Function
+from repro.ir.module import Block, Function, Module
 from repro.ir.values import Const, Temp, Value
+from repro.compiler.mem2reg import promote_allocas
+from repro.passes.manager import Pass
+from repro.passes.registry import register_pass
 
 _FOLDABLE = {
     "add": lambda a, b: a + b,
@@ -231,3 +241,62 @@ def optimize_function(function: Function) -> None:
         work += simplify_cfg(function)
         if work == 0:
             break
+
+
+def optimize_o3(function: Function) -> None:
+    """Full conventional optimization of one function (mem2reg + scalar
+    fixed point).  Erases the variable↔IR mapping — see module docstring
+    for when that is legal."""
+    promote_allocas(function)
+    optimize_function(function)
+    function.conventionally_optimized = True
+
+
+def optimize_module_o3(module: Module) -> None:
+    for function in module.functions.values():
+        optimize_o3(function)
+
+
+# ---------------------------------------------------------------------------
+# Registered passes
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class O3Pass(Pass):
+    """Module-wide conventional -O3: the baseline build's only pass."""
+
+    name = "o3"
+    mutates_ir = True
+
+    def run(self, module, am, ctx) -> bool:
+        optimize_module_o3(module)
+        return True
+
+
+@register_pass
+class Mem2RegPass(Pass):
+    """Full memory-to-register promotion of every eligible alloca."""
+
+    name = "mem2reg"
+    mutates_ir = True
+
+    def run(self, module, am, ctx) -> bool:
+        promoted = 0
+        for function in module.functions.values():
+            promoted += promote_allocas(function)
+        return promoted > 0
+
+
+@register_pass
+class CleanupPass(Pass):
+    """Scalar-opt fixed point (fold/DCE/CFG) on every function."""
+
+    name = "cleanup"
+    mutates_ir = True
+
+    def run(self, module, am, ctx) -> bool:
+        before = module.ir_stats()
+        for function in module.functions.values():
+            optimize_function(function)
+        return module.ir_stats() != before

@@ -17,6 +17,7 @@ from repro.abstractions import (
     simulated_leak_with_cycles,
 )
 from repro.compiler import (
+    OPTION_PASSES,
     CarmotOptions,
     compile_baseline,
     compile_carmot,
@@ -145,6 +146,17 @@ BREAKDOWN_GROUPS: Dict[str, Dict[str, bool]] = {
 }
 
 
+def breakdown_pipeline(toggles: Dict[str, bool]) -> str:
+    """``-passes=``-style pipeline text for one Figure-8 configuration:
+    full CARMOT minus the passes behind each disabled toggle (runtime-only
+    knobs such as callstack clustering remove no pass)."""
+    parts = ["carmot"]
+    for option, enabled in toggles.items():
+        if not enabled:
+            parts.extend(f"-{name}" for name in OPTION_PASSES[option])
+    return ",".join(parts)
+
+
 @dataclass
 class BreakdownRow:
     benchmark: str
@@ -165,9 +177,13 @@ def figure8(workloads: Optional[List[Workload]] = None) -> List[BreakdownRow]:
         full_overhead = full.cost / baseline.cost
         deltas: Dict[str, float] = {}
         for group, toggles in BREAKDOWN_GROUPS.items():
-            options = CarmotOptions(**{**{}, **toggles})
-            result, _ = compile_carmot(source, options=options,
-                                       name=workload.name).run()
+            # Each configuration is a named pipeline (the options only
+            # carry the runtime knobs, e.g. callstack clustering off).
+            options = CarmotOptions(**toggles)
+            result, _ = compile_carmot(
+                source, options=options, name=workload.name,
+                pipeline=breakdown_pipeline(toggles),
+            ).run()
             deltas[group] = max(0.0, result.cost / baseline.cost
                                 - full_overhead)
         total = sum(deltas.values()) or 1.0

@@ -105,6 +105,9 @@ class Function:
         for block in self.blocks:
             yield from block.instrs
 
+    def instruction_count(self) -> int:
+        return sum(len(block.instrs) for block in self.blocks)
+
     def remove_unreachable_blocks(self) -> None:
         reachable = set()
         stack = [self.entry]
@@ -121,6 +124,15 @@ class Function:
         head = f"func {self.name}({params}) -> {self.type.return_type} {{"
         body = "\n".join(str(b) for b in self.blocks)
         return f"{head}\n{body}\n}}"
+
+
+@dataclass(frozen=True)
+class IrStats:
+    """Module size counters; deltas of these summarize what a pass did."""
+
+    functions: int
+    blocks: int
+    instructions: int
 
 
 @dataclass
@@ -218,6 +230,15 @@ class Module:
         )
         self.rois[roi_id] = info
         return info
+
+    def ir_stats(self) -> "IrStats":
+        """Cheap size snapshot, used for per-pass IR-delta reporting."""
+        return IrStats(
+            functions=len(self.functions),
+            blocks=sum(len(f.blocks) for f in self.functions.values()),
+            instructions=sum(f.instruction_count()
+                             for f in self.functions.values()),
+        )
 
     def __str__(self) -> str:
         parts = [f"; module {self.name}"]

@@ -1,0 +1,36 @@
+"""Pass-manager layer: cached analyses, registered passes, pipelines.
+
+See :mod:`repro.passes.manager` for the architecture overview."""
+
+from repro.passes.manager import (
+    AnalysisManager,
+    AnalysisRequest,
+    Pass,
+    PassManager,
+    PassRunStats,
+    PassTimingReport,
+    PipelineContext,
+    UnknownAnalysisError,
+    register_analysis,
+    registered_analysis_names,
+)
+from repro.passes import analyses  # noqa: F401  (registers the analyses)
+from repro.passes.registry import (
+    UnknownPassError,
+    create_pass,
+    is_registered,
+    parse_pipeline,
+    register_alias,
+    register_pass,
+    registered_alias_names,
+    registered_pass_names,
+)
+
+__all__ = [
+    "AnalysisManager", "AnalysisRequest", "Pass", "PassManager",
+    "PassRunStats", "PassTimingReport", "PipelineContext",
+    "UnknownAnalysisError", "register_analysis",
+    "registered_analysis_names", "UnknownPassError", "create_pass",
+    "is_registered", "parse_pipeline", "register_alias", "register_pass",
+    "registered_alias_names", "registered_pass_names",
+]

@@ -1,0 +1,77 @@
+"""Registered analyses: the NOELLE-style machinery behind the passes.
+
+Each entry wraps one of the analyses in :mod:`repro.analysis` so every
+consumer fetches results through the :class:`~repro.passes.manager.
+AnalysisManager` — computed once per (scope, IR state), shared across
+passes, and invalidated when a transform mutates the IR.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.alias import PointsTo
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.dominators import DominatorInfo
+from repro.analysis.liveness import locals_read_after_region
+from repro.analysis.loops import find_loops
+from repro.analysis.mustaccess import analyze_must_access
+from repro.analysis.pdg import MemoryDependences
+from repro.analysis.regions import all_roi_regions
+from repro.passes.manager import register_analysis
+
+
+@register_analysis("points-to", "module")
+def _points_to(am, module) -> PointsTo:
+    """Andersen-style points-to sets (alias + indirect-call oracle)."""
+    return PointsTo(module)
+
+
+@register_analysis("callgraph", "module")
+def _callgraph(am, module) -> CallGraph:
+    """Complete call graph, resolved through the points-to analysis."""
+    return CallGraph(module, am.get("points-to"))
+
+
+@register_analysis("roi-regions", "module")
+def _roi_regions(am, module):
+    """roi_id -> static :class:`RoiRegion` extent."""
+    return all_roi_regions(module)
+
+
+@register_analysis("roi-tagged-functions", "module")
+def _roi_tagged_functions(am, module):
+    """Functions that may be live on the callstack when an ROI starts
+    (the complement is eligible for the full -O3 treatment, §4.4.5)."""
+    callgraph = am.get("callgraph")
+    roi_functions = sorted({roi.function for roi in module.rois.values()})
+    return callgraph.transitive_callers(roi_functions)
+
+
+@register_analysis("dominators", "function")
+def _dominators(am, function) -> DominatorInfo:
+    """Dominator tree + dominance frontiers (Cooper–Harvey–Kennedy)."""
+    return DominatorInfo(function)
+
+
+@register_analysis("loops", "function")
+def _loops(am, function):
+    """Natural loops, discovered over the cached dominator tree."""
+    return find_loops(function, am.get("dominators", function))
+
+
+@register_analysis("liveness", "region")
+def _liveness(am, function, region):
+    """uids of locals/params that may be read after the ROI region."""
+    roi = am.module.rois[region.roi_id]
+    return locals_read_after_region(function, region, roi.is_loop_body)
+
+
+@register_analysis("must-access", "region")
+def _must_access(am, function, region):
+    """Must-already-accessed/-written sets over the region (opt 1)."""
+    return analyze_must_access(function, region)
+
+
+@register_analysis("memory-deps", "region")
+def _memory_deps(am, function, region) -> MemoryDependences:
+    """PDG memory-dependence oracle for one ROI region (opt 3)."""
+    return MemoryDependences(function, region, am.get("points-to"))

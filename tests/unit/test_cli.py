@@ -74,6 +74,36 @@ class TestIr:
             assert "probe." not in out
 
 
+class TestPasses:
+    def test_explicit_pipeline(self, source_file, capsys):
+        assert main(["psec", source_file, "--passes",
+                     "carmot,-pin-reduction"]) == 0
+        assert "invocations" in capsys.readouterr().out
+
+    def test_print_pass_stats(self, source_file, capsys):
+        assert main(["psec", source_file, "--print-pass-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "pass statistics:" in out
+        assert "instrument" in out
+        assert "analysis cache" in out
+
+    def test_ir_with_pipeline_overrides_mode(self, source_file, capsys):
+        assert main(["ir", source_file, "--passes", "baseline"]) == 0
+        assert "probe." not in capsys.readouterr().out
+
+    def test_unknown_pass_lists_registered_names(self, source_file, capsys):
+        assert main(["psec", source_file, "--passes", "carmot,typo"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown pass 'typo'" in err
+        assert "registered passes" in err
+        assert "pin-reduction" in err
+
+    def test_uninstrumented_pipeline_rejected_for_psec(self, source_file,
+                                                       capsys):
+        assert main(["psec", source_file, "--passes", "o3"]) == 1
+        assert "no instrumenter" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["recommend", "/nonexistent/x.mc"]) == 1
