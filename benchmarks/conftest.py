@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures: explicit RNG seeding and JSON artifacts.
+
+Every figure bench (a) runs with the process RNG explicitly seeded — the
+harness is deterministic by construction, and pinning the seed keeps it
+that way if a stochastic helper ever sneaks into a cost model — and (b)
+emits its rows as machine-readable ``BENCH_<name>.json`` next to the
+printed table via the ``bench_json`` fixture, so figure data can be
+diffed/plotted without scraping pytest output.  Override the seed with
+``REPRO_BENCH_SEED`` and the output directory with ``REPRO_BENCH_DIR``.
+"""
+
+import dataclasses
+import json
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+#: The explicit benchmark seed; every bench module sees the same state.
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1234"))
+
+
+@pytest.fixture(autouse=True)
+def seeded_rng():
+    random.seed(BENCH_SEED)
+    yield
+
+
+def _jsonable(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {key: _jsonable(item)
+                for key, item in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", Path(__file__).parent))
+
+    def write(name, rows, **meta):
+        payload = {"bench": name, "seed": BENCH_SEED, **meta,
+                   "rows": _jsonable(rows)}
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    return write

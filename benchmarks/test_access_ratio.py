@@ -18,7 +18,7 @@ def ratios():
     return access_ratio()
 
 
-def test_access_ratio_print(benchmark, ratios):
+def test_access_ratio_print(benchmark, ratios, bench_json):
     result = benchmark.pedantic(
         lambda: access_ratio(ALL_WORKLOADS[:3]), rounds=1, iterations=1
     )
@@ -28,6 +28,10 @@ def test_access_ratio_print(benchmark, ratios):
         print(f"  {name:14s} {ratio:5.1f}x")
     mean = statistics.mean(r for _, r in ratios)
     print(f"  {'average':14s} {mean:5.1f}x")
+    bench_json("access_ratio",
+               [{"benchmark": name, "ratio": ratio}
+                for name, ratio in ratios],
+               average=mean)
 
 
 def test_every_benchmark_tracks_more_than_memory_tools(ratios):

@@ -18,13 +18,14 @@ def rows():
     return figure10()
 
 
-def test_figure10_rows_print(benchmark, rows):
+def test_figure10_rows_print(benchmark, rows, bench_json):
     result = benchmark.pedantic(
         lambda: figure10(ALL_WORKLOADS[:2]), rounds=1, iterations=1
     )
     assert len(result) == 2
     print()
     print(render_overheads("Figure 10: cycle-finding overhead", rows))
+    bench_json("fig10_cycles_overhead", rows)
 
 
 def test_carmot_is_near_free(rows):

@@ -18,13 +18,14 @@ def rows():
     return figure11()
 
 
-def test_figure11_rows_print(benchmark, rows):
+def test_figure11_rows_print(benchmark, rows, bench_json):
     result = benchmark.pedantic(
         lambda: figure11(ALL_WORKLOADS[:2]), rounds=1, iterations=1
     )
     assert len(result) == 2
     print()
     print(render_overheads("Figure 11: STATS overhead", rows))
+    bench_json("fig11_stats_overhead", rows)
 
 
 def test_one_order_of_magnitude_gap(rows):

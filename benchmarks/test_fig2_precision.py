@@ -71,7 +71,7 @@ def test_most_elements_not_transfer(psec):
     assert len(non_transfer) >= N - 2
 
 
-def test_psec_pragma_beats_conservative(benchmark):
+def test_psec_pragma_beats_conservative(benchmark, psec, bench_json):
     """Simulated execution: PSEC's small critical section vs the
     dependence-graph pragma that serializes the hot computation."""
     def run():
@@ -93,6 +93,16 @@ def test_psec_pragma_beats_conservative(benchmark):
     conservative_speedup = serial / conservative_time
     print(f"\n  PSEC pragma speedup         : {psec_speedup:.2f}x")
     print(f"  dependence-graph speedup    : {conservative_speedup:.2f}x")
+    bench_json("fig2_precision", {
+        "n_elements": N,
+        "transfer_mem_elements": sorted(
+            key[2] // key[3] for key in psec.sets()["transfer"]
+            if key[0] == "mem"
+        ),
+        "serial_cost": serial,
+        "psec_speedup": psec_speedup,
+        "conservative_speedup": conservative_speedup,
+    })
     assert psec_speedup > 3.0
     assert conservative_speedup < 1.5
     assert psec_speedup > 2.5 * conservative_speedup

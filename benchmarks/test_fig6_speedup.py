@@ -21,13 +21,14 @@ def rows():
     return figure6()
 
 
-def test_figure6_rows_print(benchmark, rows):
+def test_figure6_rows_print(benchmark, rows, bench_json):
     result = benchmark.pedantic(
         lambda: figure6(figure6_workloads()[:3]), rounds=1, iterations=1
     )
     assert len(result) == 3
     print()
     print(render_speedups(rows))
+    bench_json("fig6_speedup", rows)
 
 
 def test_every_benchmark_measured(rows):

@@ -17,13 +17,14 @@ def rows():
     return figure7()
 
 
-def test_figure7_rows_print(benchmark, rows):
+def test_figure7_rows_print(benchmark, rows, bench_json):
     result = benchmark.pedantic(
         lambda: figure7(ALL_WORKLOADS[:2]), rounds=1, iterations=1
     )
     assert len(result) == 2
     print()
     print(render_overheads("Figure 7: OpenMP use-case overhead", rows))
+    bench_json("fig7_openmp_overhead", rows)
 
 
 def test_all_benchmarks_measured(rows):

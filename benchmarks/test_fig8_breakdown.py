@@ -26,13 +26,15 @@ def rows():
     return figure8(SUBSET)
 
 
-def test_figure8_rows_print(benchmark, rows):
+def test_figure8_rows_print(benchmark, rows, bench_json):
     result = benchmark.pedantic(
         lambda: figure8(SUBSET[:1]), rounds=1, iterations=1
     )
     assert len(result) == 1
     print()
     print(render_breakdown(rows))
+    bench_json("fig8_breakdown", rows,
+               subset=[w.name for w in SUBSET])
 
 
 def test_shares_normalize_to_100(rows):

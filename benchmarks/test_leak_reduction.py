@@ -17,7 +17,7 @@ def report():
     return nab_leak_experiment()
 
 
-def test_leak_experiment_print(benchmark, report):
+def test_leak_experiment_print(benchmark, report, bench_json):
     result = benchmark.pedantic(nab_leak_experiment, rounds=1, iterations=1)
     assert result.leaked_bytes_before == report.leaked_bytes_before
     print()
@@ -25,6 +25,7 @@ def test_leak_experiment_print(benchmark, report):
     print(f"  held by cycles    : {report.cycle_held_bytes} bytes")
     print(f"  leaked after fix  : {report.leaked_bytes_after} bytes")
     print(f"  reduction         : {report.reduction_percent:.1f}%")
+    bench_json("leak_reduction", report)
 
 
 def test_cycle_detected(report):

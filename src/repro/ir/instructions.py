@@ -35,17 +35,33 @@ REDUCIBLE_OPS = {
 }
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class SourceLoc:
-    """Where an instruction came from in the MiniC source."""
+    """Where an instruction came from in the MiniC source.
+
+    Frozen and interned: :meth:`of` returns one shared instance per
+    (filename, line, column), so the runtime can key intern tables on
+    location identity without holding duplicate objects per instruction.
+    """
 
     filename: str
     line: int
     column: int
 
+    _interned = {}
+
     @classmethod
     def of(cls, pos: SourcePos) -> "SourceLoc":
-        return cls(pos.filename, pos.line, pos.column)
+        key = (pos.filename, pos.line, pos.column)
+        loc = cls._interned.get(key)
+        if loc is None:
+            loc = cls(*key)
+            cls._interned[key] = loc
+        return loc
+
+    @classmethod
+    def interned_count(cls) -> int:
+        return len(cls._interned)
 
     def __str__(self) -> str:
         return f"{self.filename}:{self.line}"
@@ -393,6 +409,10 @@ class ProbeAccess(Instr):
     count: Optional[Value] = None
     stride: int = 0
     result: Optional[Temp] = None
+    #: Dense call-site id assigned at compile time by the ``site-table``
+    #: analysis; the packed runtime encoding uses it to avoid interning
+    #: (var, loc) per event.  Not part of the IR dump.
+    site_id: Optional[int] = None
 
     def operands(self):
         ops: Tuple[Value, ...] = (self.ptr,)
@@ -426,6 +446,8 @@ class ProbeClassify(Instr):
     #: ROI's dynamic extent (e.g. in a loop preheader) and must name it.
     roi_id: Optional[int] = None
     result: Optional[Temp] = None
+    #: See :attr:`ProbeAccess.site_id`.
+    site_id: Optional[int] = None
 
     def operands(self):
         ops: Tuple[Value, ...] = (self.ptr,)

@@ -200,6 +200,11 @@ class Module:
         self.omp_loops: List[OmpLoopInfo] = []
         self._roi_counter = itertools.count()
         self._region_counter = itertools.count()
+        #: Dense call-site table, (var, loc) per site id, filled by the
+        #: ``site-table`` analysis after instrumentation.  Probes carry the
+        #: matching ``site_id``; the packed runtime encoding seeds its
+        #: intern tables from this so the hot path never re-interns.
+        self.site_table: List[tuple] = []
 
     def new_omp_region(
         self, kind: str, pragma: object, function: str, pos: SourcePos

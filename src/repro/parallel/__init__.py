@@ -7,6 +7,7 @@ from repro.parallel.executor import (
     simulate_parallel_for,
     simulate_sections,
 )
+from repro.parallel.shards import ShardPool
 from repro.parallel.profile import (
     ExecutionProfile,
     LoopProfile,
@@ -18,5 +19,6 @@ from repro.parallel.profile import (
 __all__ = [
     "DEFAULT_MACHINE", "ParallelMachine", "program_speedup",
     "simulate_parallel_for", "simulate_sections", "ExecutionProfile",
-    "LoopProfile", "ProfilingHooks", "SectionsProfile", "profile_execution",
+    "LoopProfile", "ProfilingHooks", "SectionsProfile", "ShardPool",
+    "profile_execution",
 ]

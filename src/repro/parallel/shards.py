@@ -1,0 +1,84 @@
+"""A small persistent thread pool for per-shard batch folds.
+
+The packed drain path partitions a batch's access/classify rows by
+``obj_id % n_shards`` and folds each shard independently (FSA states are
+per-PSE, so rows of different PSEs never touch the same entry).  This pool
+keeps one long-lived worker thread per shard — shard *i* always runs on
+worker *i*, so a PSE's entry is only ever mutated from one thread and the
+fold needs no locks.  The drain thread blocks until every shard of the
+current batch finishes (the ASMT/reachability merge that follows is
+drain-thread-only).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class ShardPool:
+    """``n`` pinned workers; :meth:`run` scatters one task per worker."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("ShardPool needs at least one worker")
+        self.n = n
+        self._tasks: List["queue.Queue"] = [queue.Queue() for _ in range(n)]
+        self._done: "queue.Queue[Tuple[int, Optional[BaseException]]]" = (
+            queue.Queue()
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, args=(i,), daemon=True,
+                name=f"shard-{i}",
+            )
+            for i in range(n)
+        ]
+        self._closed = False
+        for worker in self._workers:
+            worker.start()
+
+    def _worker_loop(self, index: int) -> None:
+        tasks = self._tasks[index]
+        while True:
+            task = tasks.get()
+            if task is None:
+                return
+            try:
+                task()
+                self._done.put((index, None))
+            except BaseException as exc:  # reported by run()
+                self._done.put((index, exc))
+
+    def run(self, thunks: Sequence[Callable[[], None]]) -> None:
+        """Run ``thunks[i]`` on worker ``i`` and wait for all of them.
+
+        If any shard raises, the exception from the lowest-indexed failing
+        shard re-raises here (deterministic regardless of scheduling).
+        """
+        if self._closed:
+            raise RuntimeError("run() on a closed ShardPool")
+        if len(thunks) > self.n:
+            raise ValueError(
+                f"{len(thunks)} tasks for {self.n} pinned workers"
+            )
+        for index, thunk in enumerate(thunks):
+            self._tasks[index].put(thunk)
+        failures = []
+        for _ in range(len(thunks)):
+            index, exc = self._done.get()
+            if exc is not None:
+                failures.append((index, exc))
+        if failures:
+            failures.sort(key=lambda pair: pair[0])
+            raise failures[0][1]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for tasks in self._tasks:
+            tasks.put(None)
+        for worker in self._workers:
+            worker.join()

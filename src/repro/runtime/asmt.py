@@ -14,7 +14,7 @@ from typing import Dict, Optional, Tuple
 from repro.ir.instructions import SourceLoc, VarInfo
 
 
-@dataclass
+@dataclass(slots=True)
 class AsmtEntry:
     """Metadata for one PSE allocation."""
 

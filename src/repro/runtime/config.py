@@ -114,3 +114,22 @@ class RuntimeConfig:
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     #: Deterministic fault-injection schedule (None = no faults).
     fault_plan: Optional[FaultPlan] = None
+    #: Event encoding on the hot path: ``"object"`` (one dataclass per
+    #: event — the differential-testing oracle) or ``"packed"``
+    #: (struct-of-arrays blocks of interned integer columns, consumed by a
+    #: flat-table FSA kernel).  Both produce byte-identical PSECs.
+    event_encoding: str = "object"
+    #: With the packed encoding, fold each batch's access/classify rows on
+    #: this many shard worker threads, partitioned by ``obj_id % shards``
+    #: (FSA states are per-PSE, so shards are independent).  0/1 keeps the
+    #: fold on the drain thread (deterministic default).
+    pipeline_shards: int = 0
+
+    def __post_init__(self) -> None:
+        if self.event_encoding not in ("object", "packed"):
+            raise ValueError(
+                f"unknown event encoding {self.event_encoding!r} "
+                "(expected 'object' or 'packed')"
+            )
+        if self.pipeline_shards < 0:
+            raise ValueError("pipeline_shards must be >= 0")

@@ -25,7 +25,9 @@ from repro.resilience.degradation import (
     DegradationRecord,
     DegradationReport,
 )
+from repro.parallel.shards import ShardPool
 from repro.resilience.faultinject import FaultInjector
+from repro.runtime import fsa
 from repro.runtime.asmt import Asmt, AsmtEntry
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.events import (
@@ -35,8 +37,29 @@ from repro.runtime.events import (
     EscapeEvent,
     FreeEvent,
 )
+from repro.runtime.packed import (
+    F_ACTIVE,
+    F_AUX,
+    F_COUNT,
+    F_CS,
+    F_LAST,
+    F_OBJ,
+    F_OFFSET,
+    F_SITE,
+    F_SIZE,
+    F_STRIDE,
+    F_TIME,
+    KIND_ALLOC,
+    KIND_CLASSIFY,
+    KIND_ESCAPE,
+    KIND_FREE,
+    KIND_WRITE,
+    ROW_STRIDE,
+    InternTable,
+    PackedBlock,
+)
 from repro.runtime.pipeline import Batch, BatchingPipeline, Failure
-from repro.runtime.psec import Psec, PseKey
+from repro.runtime.psec import MemoryBudgetExceeded, Psec, PseKey, PsecEntry
 from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.vm.hooks import ExecutionHooks
 from repro.vm.memory import MemoryObject
@@ -62,6 +85,14 @@ class RuntimeStats:
     pin_attaches: int = 0
     callstack_captures: int = 0
     events_ignored_outside_roi: int = 0
+    #: Intern-table sizes, filled in by :meth:`CarmotRuntime.finish`.  The
+    #: packed encoding's dense-id tables; ``pse_keys_interned`` and
+    #: ``source_locs_interned`` are maintained in both encodings.
+    pse_keys_interned: int = 0
+    callsites_interned: int = 0
+    callstacks_interned: int = 0
+    active_sets_interned: int = 0
+    source_locs_interned: int = 0
 
 
 class CarmotRuntime:
@@ -109,6 +140,33 @@ class CarmotRuntime:
             on_retry=self._note_retry,
             injector=self.injector,
         )
+        #: PSE-key interning (both encodings): one shared tuple instance
+        #: per key, even when the key appears in several ROIs' PSECs.
+        self._pse_keys: Dict[PseKey, PseKey] = {}
+        self._var_keys: Dict[int, PseKey] = {}
+        #: Packed-encoding state (None/unused for the object encoding).
+        self._packed = self.config.event_encoding == "packed"
+        self._shard_pool: Optional[ShardPool] = None
+        if self._packed:
+            self._block = PackedBlock()
+            self._block_limit = self.config.batch_size
+            self._block_events = 0
+            #: Run-merge anchors: nine-field row head → base offset of the
+            #: anchor row in the current block (reset at every flush).
+            self._anchors: Dict[Tuple, int] = {}
+            self._cs = InternTable()
+            self._actives = InternTable()
+            self._letters = InternTable()
+            #: site id → (var, loc, str(loc)); ids 0..n-1 match the
+            #: compile-time ``module.site_table`` so probes can carry them.
+            self._site_values: List[Tuple] = []
+            self._site_ids: Dict[Tuple[int, int], int] = {}
+            for var, loc in getattr(module, "site_table", ()) or ():
+                self._register_site(var, loc)
+            self._active_tuple: Tuple = ()
+            self._active_id = self._actives.intern(())
+            if self.config.pipeline_shards > 1:
+                self._shard_pool = ShardPool(self.config.pipeline_shards)
 
     # -- ROI lifecycle ------------------------------------------------------
 
@@ -118,6 +176,9 @@ class CarmotRuntime:
             (roi_id, self._invocations[roi_id], self._epochs[roi_id])
         )
         self.psecs[roi_id].invocations += 1
+        if self._packed:
+            self._active_tuple = tuple(self._active)
+            self._active_id = self._actives.intern(self._active_tuple)
 
     def roi_reset(self, roi_id: int) -> None:
         """A new epoch: the ROI's loop is being entered afresh (§4.2)."""
@@ -127,6 +188,9 @@ class CarmotRuntime:
         for index in range(len(self._active) - 1, -1, -1):
             if self._active[index][0] == roi_id:
                 del self._active[index]
+                if self._packed:
+                    self._active_tuple = tuple(self._active)
+                    self._active_id = self._actives.intern(self._active_tuple)
                 return
 
     @property
@@ -137,7 +201,20 @@ class CarmotRuntime:
         return tuple(self._active)
 
     def finish(self) -> None:
-        self.pipeline.close()
+        try:
+            if self._packed:
+                self._flush_block()
+            self.pipeline.close()
+        finally:
+            if self._shard_pool is not None:
+                self._shard_pool.close()
+                self._shard_pool = None
+            self.stats.pse_keys_interned = len(self._pse_keys)
+            self.stats.source_locs_interned = SourceLoc.interned_count()
+            if self._packed:
+                self.stats.callsites_interned = len(self._site_values)
+                self.stats.callstacks_interned = len(self._cs)
+                self.stats.active_sets_interned = len(self._actives)
         for seq, delay in self.pipeline.slow_batches:
             self.degradation.add(DegradationRecord(
                 batch_seq=seq, kind="slow", rois=(), events=0,
@@ -192,6 +269,27 @@ class CarmotRuntime:
         active = getattr(event, "active", ())
         if not active:
             return event
+        over, under = self._budget_note(active)
+        if not over or type(event) is not AccessEvent:
+            # Non-access events (alloc/escape/free/classify) are rare and
+            # keep the ASMT and reachability graph complete: forward them
+            # unchanged even past the budget.
+            return event
+        letters = _CONSERVATIVE_WRITE if event.is_write else _CONSERVATIVE_READ
+        self.pipeline.push(ClassifyEvent(
+            states=letters, obj_id=event.obj_id, offset=event.offset,
+            size=event.size, count=event.count, stride=event.stride,
+            var=event.var, loc=event.loc, active=tuple(over),
+            time=event.time,
+        ))
+        if not under:
+            return None
+        return replace(event, active=tuple(under))
+
+    def _budget_note(self, active):
+        """Per-ROI budget bookkeeping shared by both encodings: count the
+        event against every active ROI and split the snapshot into
+        (over-budget, under-budget) entries."""
         limit = self._resilience.max_events_per_roi
         over: List[Tuple[int, int, int]] = []
         under: List[Tuple[int, int, int]] = []
@@ -212,21 +310,164 @@ class CarmotRuntime:
                     ))
             else:
                 under.append(entry)
-        if not over or type(event) is not AccessEvent:
-            # Non-access events (alloc/escape/free/classify) are rare and
-            # keep the ASMT and reachability graph complete: forward them
-            # unchanged even past the budget.
-            return event
-        letters = _CONSERVATIVE_WRITE if event.is_write else _CONSERVATIVE_READ
-        self.pipeline.push(ClassifyEvent(
-            states=letters, obj_id=event.obj_id, offset=event.offset,
-            size=event.size, count=event.count, stride=event.stride,
-            var=event.var, loc=event.loc, active=tuple(over),
-            time=event.time,
+        return over, under
+
+    # -- packed-encoding sink ------------------------------------------------
+
+    def _register_site(self, var, loc) -> int:
+        site_id = len(self._site_values)
+        self._site_values.append((var, loc, str(loc) if loc else "?"))
+        self._site_ids[(id(var), id(loc))] = site_id
+        return site_id
+
+    def _site_for(self, var, loc) -> int:
+        """Runtime fallback for probes without a compile-time site id
+        (direct ``instrument_module`` use, Pin accesses, escapes)."""
+        site_id = self._site_ids.get((id(var), id(loc)))
+        if site_id is None:
+            site_id = self._register_site(var, loc)
+        return site_id
+
+    def _flush_block(self) -> None:
+        block = self._block
+        if block.data:
+            block.events = self._block_events
+            self._block = PackedBlock()
+            self._block_events = 0
+            self._anchors.clear()
+            self.pipeline.push_block(block)
+
+    def packed_access(self, is_write, obj_id, offset, size, count, stride,
+                      var, loc, site_id, callstack, time) -> None:
+        """Append one access row — or run-merge it into an identical one.
+
+        The packed twin of submitting an :class:`AccessEvent` (budget
+        narrowing included).  An access whose nine head fields match an
+        anchor row already in the block (a loop body re-executing the same
+        access in the same ROI invocation) bumps the anchor's repeat count
+        and last-time instead of appending; the fold replays repeats
+        exactly (see :mod:`repro.runtime.packed`).  Event budgets disable
+        merging so per-event narrowing keeps its row-per-event shape.
+        """
+        if site_id is None:
+            site_id = self._site_for(var, loc)
+        # Inlined InternTable.intern: one dict probe on the hit path.
+        cs = self._cs
+        cs_id = cs.ids.get(callstack)
+        if cs_id is None:
+            cs_id = cs.intern(callstack)
+        stride = stride or 0
+        block = self._block
+        if self._event_budget:
+            over, under = self._budget_note(self._active_tuple)
+            if over:
+                letters = (_CONSERVATIVE_WRITE if is_write
+                           else _CONSERVATIVE_READ)
+                block.data.extend((
+                    KIND_CLASSIFY, obj_id, offset, size, count, stride,
+                    site_id, 0, self._actives.intern(tuple(over)), time,
+                    self._letters.intern(letters), time,
+                ))
+                self._block_events += 1
+                if self._block_events >= self._block_limit:
+                    self._flush_block()
+                if not under:
+                    return
+                self._block.data.extend((
+                    is_write, obj_id, offset, size, count, stride,
+                    site_id, cs_id, self._actives.intern(tuple(under)),
+                    time, 0, time,
+                ))
+                self._block_events += 1
+                if self._block_events >= self._block_limit:
+                    self._flush_block()
+                return
+            block.data.extend((
+                is_write, obj_id, offset, size, count, stride,
+                site_id, cs_id, self._active_id, time, 0, time,
+            ))
+            self._block_events += 1
+            if self._block_events >= self._block_limit:
+                self._flush_block()
+            return
+        head = (is_write, obj_id, offset, size, count, stride,
+                site_id, cs_id, self._active_id)
+        anchors = self._anchors
+        base = anchors.get(head)
+        data = block.data
+        if base is None:
+            anchors[head] = len(data)
+            data.extend(head)
+            data.extend((time, 0, time))
+        else:
+            data[base + F_AUX] += 1
+            data[base + F_LAST] = time
+        events = self._block_events + 1
+        self._block_events = events
+        if events >= self._block_limit:
+            self._flush_block()
+
+    def packed_classify(self, states, obj_id, offset, size, count, stride,
+                        var, loc, site_id, active, time) -> None:
+        """``active=None`` stamps the current snapshot; an explicit tuple
+        is the hoisted-probe case (``roi_id`` binding)."""
+        if site_id is None:
+            site_id = self._site_for(var, loc)
+        if active is None:
+            active_tuple, active_id = self._active_tuple, self._active_id
+        else:
+            active_tuple, active_id = active, self._actives.intern(active)
+        if self._event_budget and active_tuple:
+            self._budget_note(active_tuple)
+        block = self._block
+        block.data.extend((
+            KIND_CLASSIFY, obj_id, offset, size, count, stride or 0,
+            site_id, 0, active_id, time, self._letters.intern(states), time,
         ))
-        if not under:
-            return None
-        return replace(event, active=tuple(under))
+        self._block_events += 1
+        if self._block_events >= self._block_limit:
+            self._flush_block()
+
+    def packed_alloc(self, obj: MemoryObject, time: int) -> None:
+        if self._event_budget and self._active_tuple:
+            self._budget_note(self._active_tuple)
+        block = self._block
+        aux = len(block.side)
+        block.side.append(
+            (obj.kind, obj.var, obj.alloc_loc, obj.alloc_callstack)
+        )
+        block.data.extend((
+            KIND_ALLOC, obj.obj_id, 0, obj.size, 0, 0, 0, 0,
+            self._active_id, time, aux, time,
+        ))
+        self._block_events += 1
+        if self._block_events >= self._block_limit:
+            self._flush_block()
+
+    def packed_escape(self, src_obj, src_offset, dst_obj, loc, time) -> None:
+        if self._event_budget and self._active_tuple:
+            self._budget_note(self._active_tuple)
+        site_id = self._site_for(None, loc)
+        block = self._block
+        block.data.extend((
+            KIND_ESCAPE, src_obj, src_offset, 0, 0, 0, site_id, 0,
+            self._active_id, time, dst_obj, time,
+        ))
+        self._block_events += 1
+        if self._block_events >= self._block_limit:
+            self._flush_block()
+
+    def packed_free(self, obj_id: int, time: int) -> None:
+        if self._event_budget and self._active_tuple:
+            self._budget_note(self._active_tuple)
+        block = self._block
+        block.data.extend((
+            KIND_FREE, obj_id, 0, 0, 0, 0, 0, 0, self._active_id, time, 0,
+            time,
+        ))
+        self._block_events += 1
+        if self._block_events >= self._block_limit:
+            self._flush_block()
 
     # -- degraded-mode fallback ----------------------------------------------
 
@@ -235,9 +476,17 @@ class CarmotRuntime:
         """A batch failed and is being retried (recoverable): nothing is
         lost, but the run needed intervention — record it."""
         rois: Set[int] = set()
-        for event in batch.events:
-            for entry in getattr(event, "active", ()):
-                rois.add(entry[0])
+        events = batch.events
+        if type(events) is PackedBlock:
+            active_values = self._actives.values
+            data = events.data
+            for base in range(F_ACTIVE, len(data), ROW_STRIDE):
+                for entry in active_values[data[base]]:
+                    rois.add(entry[0])
+        else:
+            for event in events:
+                for entry in getattr(event, "active", ()):
+                    rois.add(entry[0])
         self.degradation.add(DegradationRecord(
             batch_seq=batch.seq, kind="worker_crash",
             rois=tuple(sorted(rois)), events=len(batch.events),
@@ -256,6 +505,15 @@ class CarmotRuntime:
         in batch sequence order via the pipeline's reorder buffer.
         """
         kind, detail = failure
+        if type(batch.events) is PackedBlock:
+            rois = self._degrade_block(batch.events)
+            self.degradation.add(DegradationRecord(
+                batch_seq=batch.seq, kind=kind, rois=tuple(sorted(rois)),
+                events=len(batch.events), action=ACTION_CONSERVATIVE,
+                sets_complete=False, use_callstacks_complete=False,
+                detail=detail,
+            ))
+            return
         rois: Set[int] = set()
         for event in batch.events:
             etype = type(event)
@@ -298,7 +556,16 @@ class CarmotRuntime:
         return batch
 
     def _postprocess_batch(self, batch: Batch) -> None:
-        for event in batch.events:
+        events = batch.events
+        if type(events) is PackedBlock:
+            if self._shard_pool is not None:
+                self._fold_sharded(events)
+            else:
+                self._fold_rows(
+                    events, range(0, len(events.data), ROW_STRIDE), None
+                )
+            return
+        for event in events:
             kind = type(event)
             if kind is AccessEvent:
                 self._apply_access(event)
@@ -311,15 +578,321 @@ class CarmotRuntime:
             elif kind is FreeEvent:
                 self._apply_free(event)
 
+    # -- packed fold (the flat-table FSA kernel) ------------------------------
+
+    def _fold_rows(self, block: PackedBlock, bases, counters) -> None:
+        """Fold packed rows into the PSECs in one tight loop.
+
+        ``bases`` are row start offsets into ``block.data`` (ascending =
+        event order).  With ``counters=None`` (deterministic drain) the
+        per-ROI ``total_accesses``/``use_records`` counters and the
+        use-record budget are applied per event, byte-identical to the
+        object encoding.  A shard fold passes its private ``counters``
+        dict ({roi_id: [accesses, new_use_records]}) instead, merged on
+        the drain thread after the join — shards then never write shared
+        counters (entries are already shard-private: a PSE key contains
+        its obj_id, and rows are sharded by obj_id).
+        """
+        data = block.data
+        site_values = self._site_values
+        cs_values = self._cs.values
+        active_values = self._actives.values
+        letters_values = self._letters.values
+        psecs = self.psecs
+        flat = fsa.FLAT_TRANSITIONS
+        track_uses = self.config.policy.track_use_callstacks
+        max_use = self.config.max_use_records if counters is None else 0
+        var_keys = self._var_keys
+        intern_key = self._pse_keys.setdefault
+        use = None
+        #: Per-site row-identity cache: an access row identical to the last
+        #: row seen for its site (all nine head fields — same kind, PSE,
+        #: callstack, and active snapshot) repeats a loop-body access the
+        #: full path already resolved: its (entry, sink) cells are known,
+        #: its use record is already present, its invocation and epoch are
+        #: already committed (same active id), so only the FSA step and the
+        #: counters remain.  The head comparison is one C-level array
+        #: compare of the sliced row.
+        site_cache: Dict[int, Tuple] = {}
+        cache_get = site_cache.get
+        for base in bases:
+            kind = data[base]
+            if kind <= KIND_WRITE:
+                head = data[base:base + F_TIME]
+                site = data[base + F_SITE]
+                cached = cache_get(site)
+                if cached is not None and cached[0] == head:
+                    # One non-fresh step covers any repeat count: the flat
+                    # table is idempotent on non-fresh events (fixpoint
+                    # property, asserted in tests), so merged repeats only
+                    # add to the counters and the max last-time.
+                    t_last = data[base + F_LAST]
+                    n = data[base + F_AUX] + 1
+                    event_code = kind + 2
+                    if counters is None:
+                        for entry, psec in cached[1]:
+                            state_code = flat[entry.state_code * 4
+                                              + event_code]
+                            if state_code < 0:
+                                fsa.step_code(entry.state_code, event_code)
+                            entry.state_code = state_code
+                            entry.access_count += n
+                            if t_last > entry.last_time:
+                                entry.last_time = t_last
+                            psec.total_accesses += n
+                    else:
+                        for entry, counter in cached[1]:
+                            state_code = flat[entry.state_code * 4
+                                              + event_code]
+                            if state_code < 0:
+                                fsa.step_code(entry.state_code, event_code)
+                            entry.state_code = state_code
+                            entry.access_count += n
+                            if t_last > entry.last_time:
+                                entry.last_time = t_last
+                            counter[0] += n
+                    continue
+                obj = data[base + F_OBJ]
+                var, _, loc_str = site_values[site]
+                count = data[base + F_COUNT]
+                time = data[base + F_TIME]
+                t_last = data[base + F_LAST]
+                reps = data[base + F_AUX]
+                n = reps + 1
+                active = active_values[data[base + F_ACTIVE]]
+                if var is not None and count == 1:
+                    key = var_keys.get(obj)
+                    if key is None:
+                        key = intern_key(("var", obj), ("var", obj))
+                        var_keys[obj] = key
+                    keys = (key,)
+                else:
+                    size = data[base + F_SIZE]
+                    stride = data[base + F_STRIDE] or size
+                    offset = data[base + F_OFFSET]
+                    keys = tuple(
+                        intern_key(k, k) for k in (
+                            ("mem", obj, offset + j * stride, size)
+                            for j in range(count)
+                        )
+                    )
+                if track_uses:
+                    use = (loc_str, cs_values[data[base + F_CS]])
+                cells = []
+                for key in keys:
+                    for roi_id, invocation, epoch in active:
+                        psec = psecs[roi_id]
+                        entries = psec.entries
+                        entry = entries.get(key)
+                        if entry is None:
+                            entry = PsecEntry(key, var)
+                            entries[key] = entry
+                        elif var is not None and entry.var is None:
+                            entry.var = var
+                        if epoch != entry.last_epoch:
+                            entry.forced = "".join(sorted(fsa.force_states(
+                                fsa.STATES[entry.state_code], entry.forced
+                            ).sets))
+                            entry.state_code = 0
+                            entry.last_invocation = -1
+                            entry.last_epoch = epoch
+                        event_code = (
+                            kind if invocation != entry.last_invocation
+                            else kind + 2
+                        )
+                        state_code = flat[entry.state_code * 4 + event_code]
+                        if state_code < 0:
+                            fsa.step_code(entry.state_code, event_code)
+                        if reps:
+                            # Merged repeats are non-fresh by construction
+                            # (same active id ⇒ same invocation); one step
+                            # reaches the table's non-fresh fixpoint.
+                            prev = state_code
+                            state_code = flat[prev * 4 + kind + 2]
+                            if state_code < 0:
+                                fsa.step_code(prev, kind + 2)
+                        entry.state_code = state_code
+                        if kind:
+                            entry.write_seen = True
+                        entry.access_count += n
+                        entry.last_invocation = invocation
+                        if entry.first_time is None:
+                            entry.first_time = time
+                        if entry.last_time is None or t_last > entry.last_time:
+                            entry.last_time = t_last
+                        if counters is None:
+                            psec.total_accesses += n
+                            cells.append((entry, psec))
+                            if track_uses and use not in entry.uses:
+                                entry.uses.add(use)
+                                psec.use_records += 1
+                                if max_use and psec.use_records > max_use:
+                                    raise MemoryBudgetExceeded(
+                                        f"ROI {psec.roi_id}: more than "
+                                        f"{max_use} use-callstack records"
+                                    )
+                        else:
+                            counter = counters.get(roi_id)
+                            if counter is None:
+                                counter = [0, 0]
+                                counters[roi_id] = counter
+                            counter[0] += n
+                            cells.append((entry, counter))
+                            if track_uses and use not in entry.uses:
+                                entry.uses.add(use)
+                                counter[1] += 1
+                site_cache[site] = (head, cells)
+            elif kind == KIND_CLASSIFY:
+                obj = data[base + F_OBJ]
+                var, _, _ = site_values[data[base + F_SITE]]
+                letters = letters_values[data[base + F_AUX]]
+                time = data[base + F_TIME]
+                if var is not None and data[base + F_COUNT] == 1:
+                    keys = (intern_key(("var", obj), ("var", obj)),)
+                else:
+                    size = data[base + F_SIZE]
+                    stride = data[base + F_STRIDE] or size
+                    offset = data[base + F_OFFSET]
+                    keys = tuple(
+                        intern_key(k, k) for k in (
+                            ("mem", obj, offset + j * stride, size)
+                            for j in range(data[base + F_COUNT])
+                        )
+                    )
+                for key in keys:
+                    for roi_id, _, _ in active_values[data[base + F_ACTIVE]]:
+                        psecs[roi_id].force_classification(
+                            key, var, letters, time
+                        )
+            elif kind == KIND_ALLOC:
+                akind, var, loc, callstack = block.side[data[base + F_AUX]]
+                obj = data[base + F_OBJ]
+                time = data[base + F_TIME]
+                self.asmt.register(AsmtEntry(
+                    obj_id=obj, size=data[base + F_SIZE], kind=akind,
+                    var=var, alloc_loc=loc, alloc_callstack=callstack,
+                    alloc_time=time,
+                ))
+                if self.config.policy.track_reachability:
+                    for roi_id, _, _ in active_values[data[base + F_ACTIVE]]:
+                        psec = psecs[roi_id]
+                        psec.allocated_in_roi.add(obj)
+                        psec.reachability.add_node(obj, True, time)
+            elif kind == KIND_ESCAPE:
+                _, loc, _ = site_values[data[base + F_SITE]]
+                loc_repr = str(loc) if loc else None
+                for roi_id, _, _ in active_values[data[base + F_ACTIVE]]:
+                    psecs[roi_id].reachability.add_edge(
+                        data[base + F_OBJ], data[base + F_AUX],
+                        data[base + F_OFFSET], data[base + F_TIME], loc_repr,
+                    )
+            else:  # KIND_FREE
+                self.asmt.mark_freed(data[base + F_OBJ], data[base + F_TIME])
+
+    def _fold_sharded(self, block: PackedBlock) -> None:
+        """Partition access/classify rows by ``obj_id % n_shards`` and fold
+        the shards concurrently; everything touching shared structures
+        (ASMT, reachability, per-ROI counters, the use-record budget)
+        stays on — or is merged back on — the drain thread."""
+        n = self._shard_pool.n
+        data = block.data
+        shard_bases: List[List[int]] = [[] for _ in range(n)]
+        other: List[int] = []
+        for base in range(0, len(data), ROW_STRIDE):
+            if data[base] <= KIND_CLASSIFY:
+                shard_bases[data[base + F_OBJ] % n].append(base)
+            else:
+                other.append(base)
+        counters: List[Dict[int, List[int]]] = [{} for _ in range(n)]
+        self._shard_pool.run([
+            (lambda bases=bases, counter=counter:
+             self._fold_rows(block, bases, counter))
+            for bases, counter in zip(shard_bases, counters)
+        ])
+        for counter in counters:
+            for roi_id, (accesses, new_uses) in counter.items():
+                psec = self.psecs[roi_id]
+                psec.total_accesses += accesses
+                psec.use_records += new_uses
+        max_use = self.config.max_use_records
+        if max_use:
+            # Batch-granularity budget check (the sharded fold can overrun
+            # by at most one batch relative to the per-event check).
+            for psec in self.psecs.values():
+                if psec.use_records > max_use:
+                    raise MemoryBudgetExceeded(
+                        f"ROI {psec.roi_id}: more than {max_use} "
+                        "use-callstack records"
+                    )
+        self._fold_rows(block, other, None)
+
+    def _degrade_block(self, block: PackedBlock) -> Set[int]:
+        """Packed twin of the object-encoding degraded fallback: force
+        conservative letters for access rows, apply everything else."""
+        data = block.data
+        site_values = self._site_values
+        active_values = self._actives.values
+        intern_key = self._pse_keys.setdefault
+        rois: Set[int] = set()
+        for base in range(0, len(data), ROW_STRIDE):
+            kind = data[base]
+            if kind <= KIND_WRITE:
+                obj = data[base + F_OBJ]
+                var, _, _ = site_values[data[base + F_SITE]]
+                letters = _CONSERVATIVE_WRITE if kind else _CONSERVATIVE_READ
+                time = data[base + F_TIME]
+                reps = data[base + F_AUX]
+                if var is not None and data[base + F_COUNT] == 1:
+                    keys = (intern_key(("var", obj), ("var", obj)),)
+                else:
+                    size = data[base + F_SIZE]
+                    stride = data[base + F_STRIDE] or size
+                    offset = data[base + F_OFFSET]
+                    keys = tuple(
+                        intern_key(k, k) for k in (
+                            ("mem", obj, offset + j * stride, size)
+                            for j in range(data[base + F_COUNT])
+                        )
+                    )
+                for key in keys:
+                    for roi_id, _, _ in active_values[data[base + F_ACTIVE]]:
+                        psec = self.psecs[roi_id]
+                        psec.force_classification(key, var, letters, time)
+                        if reps:
+                            # Replay run-merged repeats: the forced letters
+                            # idempote; only the max last-time advances.
+                            psec.force_classification(
+                                key, var, letters, data[base + F_LAST]
+                            )
+                        rois.add(roi_id)
+            elif kind == KIND_FREE:
+                self.asmt.mark_freed(data[base + F_OBJ], data[base + F_TIME])
+            else:
+                # Classify/alloc/escape rows apply exactly (order-
+                # insensitive here), so the ASMT and reachability graph
+                # never lose nodes — same rule as the object encoding.
+                self._fold_rows(block, (base,), None)
+                for entry in active_values[data[base + F_ACTIVE]]:
+                    rois.add(entry[0])
+        return rois
+
     # -- event application ------------------------------------------------------
 
     def _keys_for(self, event) -> List[Tuple[PseKey, Optional[VarInfo]]]:
+        intern_key = self._pse_keys.setdefault
         if event.var is not None and event.count == 1:
-            return [(("var", event.obj_id), event.var)]
+            key = self._var_keys.get(event.obj_id)
+            if key is None:
+                key = intern_key(
+                    ("var", event.obj_id), ("var", event.obj_id)
+                )
+                self._var_keys[event.obj_id] = key
+            return [(key, event.var)]
         keys = []
         for index in range(event.count):
             offset = event.offset + index * (event.stride or event.size)
-            keys.append((("mem", event.obj_id, offset, event.size), event.var))
+            key = ("mem", event.obj_id, offset, event.size)
+            keys.append((intern_key(key, key), event.var))
         return keys
 
     def _apply_access(self, event: AccessEvent) -> None:
@@ -424,7 +997,7 @@ class CarmotHooks(ExecutionHooks):
     # -- access probes -----------------------------------------------------------
 
     def on_probe_access(self, kind, addr, size, var, count, stride, loc,
-                        callstack) -> int:
+                        callstack, site_id=None) -> int:
         runtime = self.runtime
         cost = self.cm.aggregate_probe if count > 1 else self.cm.probe_push
         if not runtime.any_roi_active:
@@ -442,50 +1015,64 @@ class CarmotHooks(ExecutionHooks):
                              else self.cm.use_callstack_walk)
                 if runtime.config.inline_processing:
                     cost += self.cm.inline_process * max(1, count)
-                runtime.submit(
-                    AccessEvent(
-                        is_write=kind is AccessKind.WRITE,
-                        obj_id=obj.obj_id,
-                        offset=addr - obj.base,
-                        size=size,
-                        count=count,
-                        stride=stride,
-                        var=var,
-                        loc=loc,
-                        callstack=callstack,
-                        active=runtime.active_snapshot(),
-                        time=self.vm.instructions,
+                if runtime._packed:
+                    runtime.packed_access(
+                        kind is AccessKind.WRITE, obj.obj_id,
+                        addr - obj.base, size, count, stride, var, loc,
+                        site_id, callstack, self.vm.instructions,
                     )
-                )
+                else:
+                    runtime.submit(
+                        AccessEvent(
+                            is_write=kind is AccessKind.WRITE,
+                            obj_id=obj.obj_id,
+                            offset=addr - obj.base,
+                            size=size,
+                            count=count,
+                            stride=stride,
+                            var=var,
+                            loc=loc,
+                            callstack=callstack,
+                            active=runtime.active_snapshot(),
+                            time=self.vm.instructions,
+                        )
+                    )
         return cost
 
     def on_probe_classify(self, states, addr, size, var, count, stride,
-                          loc, roi_id=None) -> int:
+                          loc, roi_id=None, site_id=None) -> int:
         runtime = self.runtime
         if roi_id is not None:
             active = ((roi_id, 0, 0),)
         elif runtime.any_roi_active:
-            active = runtime.active_snapshot()
+            active = None if runtime._packed else runtime.active_snapshot()
         else:
             return self.cm.classify_probe
         if runtime.config.policy.track_sets:
             obj = self._object_for(addr)
             if obj is not None:
                 runtime.stats.classify_events += 1
-                runtime.submit(
-                    ClassifyEvent(
-                        states=states,
-                        obj_id=obj.obj_id,
-                        offset=addr - obj.base,
-                        size=size,
-                        count=count,
-                        stride=stride,
-                        var=var,
-                        loc=loc,
-                        active=active,
-                        time=self.vm.instructions,
+                if runtime._packed:
+                    runtime.packed_classify(
+                        states, obj.obj_id, addr - obj.base, size, count,
+                        stride, var, loc, site_id, active,
+                        self.vm.instructions,
                     )
-                )
+                else:
+                    runtime.submit(
+                        ClassifyEvent(
+                            states=states,
+                            obj_id=obj.obj_id,
+                            offset=addr - obj.base,
+                            size=size,
+                            count=count,
+                            stride=stride,
+                            var=var,
+                            loc=loc,
+                            active=active,
+                            time=self.vm.instructions,
+                        )
+                    )
                 if runtime.config.inline_processing:
                     return (self.cm.classify_probe
                             + self.cm.inline_process * max(1, count))
@@ -500,16 +1087,22 @@ class CarmotHooks(ExecutionHooks):
             src = self._object_for(dest_addr)
             if dst is not None and src is not None and src is not dst:
                 runtime.stats.escape_events += 1
-                runtime.submit(
-                    EscapeEvent(
-                        src_obj=src.obj_id,
-                        src_offset=dest_addr - src.base,
-                        dst_obj=dst.obj_id,
-                        loc=loc,
-                        active=runtime.active_snapshot(),
-                        time=self.vm.instructions,
+                if runtime._packed:
+                    runtime.packed_escape(
+                        src.obj_id, dest_addr - src.base, dst.obj_id, loc,
+                        self.vm.instructions,
                     )
-                )
+                else:
+                    runtime.submit(
+                        EscapeEvent(
+                            src_obj=src.obj_id,
+                            src_offset=dest_addr - src.base,
+                            dst_obj=dst.obj_id,
+                            loc=loc,
+                            active=runtime.active_snapshot(),
+                            time=self.vm.instructions,
+                        )
+                    )
                 if runtime.config.inline_processing:
                     return self.cm.escape_event + self.cm.inline_process
         return self.cm.escape_event
@@ -530,27 +1123,33 @@ class CarmotHooks(ExecutionHooks):
             cost += self._callstack_cost(len(obj.alloc_callstack))
             runtime.stats.callstack_captures += 1
         runtime.stats.alloc_events += 1
-        runtime.submit(
-            AllocEvent(
-                obj_id=obj.obj_id,
-                size=obj.size,
-                kind=obj.kind,
-                var=obj.var,
-                loc=obj.alloc_loc,
-                callstack=obj.alloc_callstack,
-                active=runtime.active_snapshot(),
-                time=self.vm.instructions,
+        if runtime._packed:
+            runtime.packed_alloc(obj, self.vm.instructions)
+        else:
+            runtime.submit(
+                AllocEvent(
+                    obj_id=obj.obj_id,
+                    size=obj.size,
+                    kind=obj.kind,
+                    var=obj.var,
+                    loc=obj.alloc_loc,
+                    callstack=obj.alloc_callstack,
+                    active=runtime.active_snapshot(),
+                    time=self.vm.instructions,
+                )
             )
-        )
         if runtime.config.inline_processing:
             cost += self.cm.inline_process
         return cost
 
     def on_free(self, obj: MemoryObject) -> int:
-        self.runtime.submit(
-            FreeEvent(obj.obj_id, self.runtime.active_snapshot(),
-                      self.vm.instructions)
-        )
+        if self.runtime._packed:
+            self.runtime.packed_free(obj.obj_id, self.vm.instructions)
+        else:
+            self.runtime.submit(
+                FreeEvent(obj.obj_id, self.runtime.active_snapshot(),
+                          self.vm.instructions)
+            )
         return self.cm.alloc_event
 
     def on_call_enter(self, function_name: str, instrumented: bool) -> int:
@@ -587,21 +1186,29 @@ class CarmotHooks(ExecutionHooks):
         if runtime.config.policy.track_sets:
             obj = self._object_for(addr)
             if obj is not None:
-                runtime.submit(
-                    AccessEvent(
-                        is_write=kind is AccessKind.WRITE,
-                        obj_id=obj.obj_id,
-                        offset=addr - obj.base,
-                        size=min(size, 8),
-                        count=granules,
-                        stride=8,
-                        var=None,
-                        loc=None,
-                        callstack=tuple(self.vm.call_stack),
-                        active=runtime.active_snapshot(),
-                        time=self.vm.instructions,
+                if runtime._packed:
+                    runtime.packed_access(
+                        kind is AccessKind.WRITE, obj.obj_id,
+                        addr - obj.base, min(size, 8), granules, 8,
+                        None, None, None, tuple(self.vm.call_stack),
+                        self.vm.instructions,
                     )
-                )
+                else:
+                    runtime.submit(
+                        AccessEvent(
+                            is_write=kind is AccessKind.WRITE,
+                            obj_id=obj.obj_id,
+                            offset=addr - obj.base,
+                            size=min(size, 8),
+                            count=granules,
+                            stride=8,
+                            var=None,
+                            loc=None,
+                            callstack=tuple(self.vm.call_stack),
+                            active=runtime.active_snapshot(),
+                            time=self.vm.instructions,
+                        )
+                    )
         cost = self.cm.pin_per_access * granules
         if runtime.config.inline_processing:
             cost += self.cm.inline_process * granules

@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 from repro.ir.instructions import SourceLoc, VarInfo
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessEvent:
     """One (possibly aggregated) PSE access inside at least one active ROI."""
 
@@ -31,7 +31,7 @@ class AccessEvent:
     time: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ClassifyEvent:
     """Compile-time-proven classification (opt 3): force set letters."""
 
@@ -47,7 +47,7 @@ class ClassifyEvent:
     time: int
 
 
-@dataclass
+@dataclass(slots=True)
 class AllocEvent:
     """A PSE allocation observed while an ROI is active."""
 
@@ -61,7 +61,7 @@ class AllocEvent:
     time: int
 
 
-@dataclass
+@dataclass(slots=True)
 class EscapeEvent:
     """A pointer to ``dst_obj`` stored into ``src_obj`` at ``src_offset``."""
 
@@ -73,7 +73,7 @@ class EscapeEvent:
     time: int
 
 
-@dataclass
+@dataclass(slots=True)
 class FreeEvent:
     obj_id: int
     active: Tuple[Tuple[int, int], ...]

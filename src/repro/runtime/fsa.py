@@ -16,6 +16,7 @@ ROIs and must assume ROI-written data is read afterwards.
 from __future__ import annotations
 
 import enum
+from array import array
 from typing import Dict, FrozenSet, Tuple
 
 from repro.errors import RuntimeToolError
@@ -78,6 +79,43 @@ TRANSITIONS: Dict[Tuple[State, Event], State] = {
     (State.TIO, Event.RN): State.TIO,
     (State.TIO, Event.WN): State.TIO,
 }
+
+
+#: Dense integer codes for the flat transition table.  The state order is
+#: fixed (golden PSEC output sorts by letters elsewhere, never by code) and
+#: the event codes are chosen so hot-path callers can compute them without
+#: branching on enum members: ``(0 if fresh else 2) + (1 if write else 0)``.
+STATES: Tuple[State, ...] = (
+    State.EPS, State.I, State.O, State.IO,
+    State.CO, State.TO, State.CIO, State.TIO,
+)
+STATE_CODES: Dict[State, int] = {s: i for i, s in enumerate(STATES)}
+
+N_EVENTS = 4
+RF, WF, RN, WN = 0, 1, 2, 3
+EVENT_CODES: Dict[Event, int] = {
+    Event.RF: RF, Event.WF: WF, Event.RN: RN, Event.WN: WN,
+}
+
+#: ``FLAT_TRANSITIONS[state_code * N_EVENTS + event_code]`` → next state
+#: code, or -1 for the impossible ε+Rn/Wn combinations.  Built from
+#: :data:`TRANSITIONS` so the two representations cannot drift.
+FLAT_TRANSITIONS = array("b", [-1] * (len(STATES) * N_EVENTS))
+for (_s, _e), _t in TRANSITIONS.items():
+    FLAT_TRANSITIONS[STATE_CODES[_s] * N_EVENTS + EVENT_CODES[_e]] = STATE_CODES[_t]
+del _s, _e, _t
+
+
+def step_code(state_code: int, event_code: int) -> int:
+    """Flat-table counterpart of :func:`step` on integer codes."""
+    nxt = FLAT_TRANSITIONS[state_code * N_EVENTS + event_code]
+    if nxt < 0:
+        raise RuntimeToolError(
+            f"invalid FSA transition: {STATES[state_code].name} has no "
+            f"edge for event code {event_code} (a PSE's first access "
+            f"must be Rf/Wf)"
+        )
+    return nxt
 
 
 def step(state: State, event: Event) -> State:

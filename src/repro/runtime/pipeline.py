@@ -150,6 +150,27 @@ class BatchingPipeline:
         if len(self._current.events) >= self._batch_size:
             self.flush()
 
+    def push_block(self, block) -> None:
+        """Ship one packed column block as a whole batch.
+
+        Each row counts as one event, and the block takes the batch
+        sequence number the same rows would have received through
+        per-event :meth:`push` — fault plans keyed on batch seq therefore
+        hit identical event ranges in both encodings.  ``block`` becomes
+        the batch's ``events`` payload (it supports ``len()``).
+        """
+        if self._closed:
+            raise RuntimeToolError("push_block() on a closed pipeline")
+        if self._error is not None:
+            self._raise_pending()
+        if not len(block):
+            return
+        self.events_seen += len(block)
+        batch = Batch(seq=self._current.seq, events=block)
+        self._seq += 1
+        self._current = Batch(seq=self._seq)
+        self._dispatch(batch)
+
     def flush(self) -> None:
         if self._closed:
             raise RuntimeToolError("flush() on a closed pipeline")
@@ -162,6 +183,9 @@ class BatchingPipeline:
         batch = self._current
         self._seq += 1
         self._current = Batch(seq=self._seq)
+        self._dispatch(batch)
+
+    def _dispatch(self, batch: Batch) -> None:
         if self._threaded:
             self._enqueue(batch)
         else:

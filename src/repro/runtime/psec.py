@@ -34,21 +34,46 @@ SET_NAMES = ("input", "output", "cloneable", "transfer")
 _LETTER_BY_SET = {"input": "I", "output": "O", "cloneable": "C", "transfer": "T"}
 
 
-@dataclass
 class PsecEntry:
-    """Per-PSE record inside one ROI's PSEC."""
+    """Per-PSE record inside one ROI's PSEC.
 
-    key: PseKey
-    var: Optional[VarInfo] = None
-    state: fsa.State = fsa.State.EPS
-    forced: str = ""
-    last_invocation: int = -1
-    first_time: Optional[int] = None
-    last_time: Optional[int] = None
-    uses: Set[Tuple[str, Tuple[str, ...]]] = field(default_factory=set)
-    write_seen: bool = False
-    access_count: int = 0
-    last_epoch: int = 0
+    The FSA state is held as a dense integer code (index into
+    :data:`fsa.STATES`) so the hot recording path is a flat-table lookup;
+    the :attr:`state` property preserves the enum-valued view.
+    """
+
+    __slots__ = (
+        "key", "var", "state_code", "forced", "last_invocation",
+        "first_time", "last_time", "uses", "write_seen", "access_count",
+        "last_epoch",
+    )
+
+    def __init__(
+        self,
+        key: PseKey,
+        var: Optional[VarInfo] = None,
+        state: fsa.State = fsa.State.EPS,
+        forced: str = "",
+    ) -> None:
+        self.key = key
+        self.var = var
+        self.state_code: int = fsa.STATE_CODES[state]
+        self.forced = forced
+        self.last_invocation = -1
+        self.first_time: Optional[int] = None
+        self.last_time: Optional[int] = None
+        self.uses: Set[Tuple[str, Tuple[str, ...]]] = set()
+        self.write_seen = False
+        self.access_count = 0
+        self.last_epoch = 0
+
+    @property
+    def state(self) -> fsa.State:
+        return fsa.STATES[self.state_code]
+
+    @state.setter
+    def state(self, value: fsa.State) -> None:
+        self.state_code = fsa.STATE_CODES[value]
 
     @property
     def letters(self) -> FrozenSet[str]:
@@ -62,16 +87,16 @@ class PsecEntry:
             self.forced = "".join(
                 sorted(fsa.force_states(self.state, self.forced).sets)
             )
-            self.state = fsa.State.EPS
+            self.state_code = 0  # fsa.State.EPS
             self.last_invocation = -1
             self.last_epoch = epoch
         fresh = invocation != self.last_invocation
         if is_write:
-            event = fsa.Event.WF if fresh else fsa.Event.WN
+            event = fsa.WF if fresh else fsa.WN
             self.write_seen = True
         else:
-            event = fsa.Event.RF if fresh else fsa.Event.RN
-        self.state = fsa.step(self.state, event)
+            event = fsa.RF if fresh else fsa.RN
+        self.state_code = fsa.step_code(self.state_code, event)
         self.access_count += 1
         self.last_invocation = invocation
         if self.first_time is None:
@@ -157,7 +182,12 @@ class Psec:
         entry.forced = "".join(sorted(set(entry.forced) | set(letters)))
         if entry.first_time is None:
             entry.first_time = time
-        entry.last_time = time
+        # Max, not last-assignment: packed run merging replays a merged
+        # row's repeats out of original event order, so a later fold step
+        # may carry an earlier timestamp.  VM times are monotone, so for
+        # unmerged streams this is the same value as before.
+        if entry.last_time is None or time > entry.last_time:
+            entry.last_time = time
 
     # -- classification output ----------------------------------------------
 

@@ -37,6 +37,7 @@ class ExecutionHooks:
         stride: int,
         loc: Optional[SourceLoc],
         callstack: Tuple[str, ...],
+        site_id: Optional[int] = None,
     ) -> int:
         return 0
 
@@ -50,6 +51,7 @@ class ExecutionHooks:
         stride: int,
         loc: Optional[SourceLoc],
         roi_id: Optional[int] = None,
+        site_id: Optional[int] = None,
     ) -> int:
         return 0
 

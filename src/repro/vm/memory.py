@@ -31,7 +31,7 @@ _INT = struct.Struct("<q")
 _DOUBLE = struct.Struct("<d")
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryObject:
     """One allocation: a global, a stack slot, or a heap block."""
 
