@@ -35,8 +35,7 @@ from repro.compiler import (
 from repro.errors import ReproError
 from repro.runtime import CarmotRuntime, Psec, merge_psecs
 from repro.vm import RunResult, run_module
-
-__version__ = "1.0.0"
+from repro._version import __version__
 
 __all__ = [
     "ParallelForRecommendation",

@@ -1,0 +1,22 @@
+"""Single source of truth for the toolchain version and artifact schemas.
+
+``__version__`` is what ``repro --version`` prints and what ``repro
+bench`` stamps into its JSON report.  The schema constants version the
+on-disk artifact formats independently of the package version: bump one
+whenever the corresponding serialized form changes shape, and every
+cache key derived from it changes with it (stale entries are simply
+never looked up again — see :mod:`repro.session.keys`).
+"""
+
+__version__ = "1.1.0"
+
+#: Format version of serialized IR modules (:mod:`repro.ir.serialize`).
+IR_SCHEMA_VERSION = 1
+
+#: Format version of serialized profiles — PSECs, ASMT, degradation
+#: report, and run result (:mod:`repro.runtime.psec_json`).
+PROFILE_SCHEMA_VERSION = 1
+
+#: Layout version of the on-disk artifact store
+#: (:mod:`repro.session.store`).
+STORE_VERSION = 1

@@ -10,7 +10,15 @@ Subcommands:
 - ``psec``      — print the raw Sets of every ROI;
 - ``overhead``  — compare baseline/naive/CARMOT cost on the program;
 - ``ir``        — dump the (optionally instrumented) IR;
-- ``bench``     — runtime hot-path benchmark, writes ``BENCH_runtime.json``.
+- ``bench``     — runtime hot-path benchmark, writes ``BENCH_runtime.json``;
+- ``cache``     — artifact-cache maintenance (stats/clear/verify).
+
+``recommend``, ``psec``, and ``ir`` are thin clients of the session layer
+(:mod:`repro.session`): unchanged source + pipeline + runtime config loads
+IR and PSECs from the artifact cache instead of recompiling and re-running
+the VM.  ``--no-cache`` forces every stage live; ``--cache-dir`` (or
+``$REPRO_CACHE_DIR``) relocates the store from the default
+``.repro-cache/``.  Cached and live runs print byte-identical output.
 """
 
 from __future__ import annotations
@@ -20,19 +28,13 @@ import json
 import sys
 from typing import List, Optional
 
+from repro._version import __version__
 from repro.abstractions import describe_pse, recommend
-from repro.compiler import (
-    BuildMode,
-    CarmotOptions,
-    CompiledProgram,
-    compile_baseline,
-    compile_carmot,
-    compile_naive,
-    compile_pipeline,
-    frontend,
-)
+from repro.compiler import CompiledProgram
 from repro.errors import ReproError
+from repro.passes.registry import parse_pipeline
 from repro.resilience import FaultPlan, parse_budget_spec
+from repro.session import ArtifactStore, Session
 
 
 def _read(path: str) -> str:
@@ -64,22 +66,36 @@ def _print_degradation(runtime) -> None:
               file=sys.stderr)
 
 
-def _compile_instrumented(args: argparse.Namespace,
-                          source: str) -> CompiledProgram:
-    """The profiling build for recommend/psec: full CARMOT by default, an
-    explicit ``--passes`` pipeline when given."""
+def _session_for(args: argparse.Namespace) -> Session:
+    """The artifact-backed session for this invocation.
+
+    ``--no-cache`` runs everything live; so does ``--print-pass-stats``,
+    whose per-pass timing report only exists on a live compile.
+    """
+    enabled = not getattr(args, "no_cache", False) \
+        and not getattr(args, "print_pass_stats", False)
+    return Session(cache_dir=getattr(args, "cache_dir", None),
+                   enabled=enabled)
+
+
+def _profiling_pipeline(args: argparse.Namespace) -> str:
+    """The pipeline text for recommend/psec: full CARMOT by default, an
+    explicit ``--passes`` pipeline when given (must instrument)."""
     if getattr(args, "passes", None):
-        program = compile_pipeline(source, args.passes, args.abstraction,
-                                   name=args.file)
-        if program.mode is BuildMode.BASELINE:
+        names = parse_pipeline(args.passes)
+        if "instrument" not in names and "naive-instrument" not in names:
             raise ReproError(
                 f"pipeline {args.passes!r} has no instrumenter; append "
                 "'instrument' (or 'naive-instrument') to profile"
             )
-    else:
-        program = compile_carmot(source, args.abstraction, name=args.file)
-    _maybe_print_pass_stats(args, program)
-    return program
+        return args.passes
+    return "carmot"
+
+
+def _print_cache_stages(args: argparse.Namespace, stages) -> None:
+    if getattr(args, "cache_stats", False):
+        summary = " ".join(f"{k}={v}" for k, v in stages.items())
+        print(f"cache: {summary}", file=sys.stderr)
 
 
 def _maybe_print_pass_stats(args: argparse.Namespace,
@@ -90,10 +106,23 @@ def _maybe_print_pass_stats(args: argparse.Namespace,
         print()
 
 
+def _profile(args: argparse.Namespace, source: str):
+    """Session-backed compile+profile shared by recommend/psec."""
+    session = _session_for(args)
+    profiled = session.profile(
+        source, _profiling_pipeline(args), abstraction=args.abstraction,
+        name=args.file, entry=args.entry, **_run_kwargs(args),
+    )
+    _maybe_print_pass_stats(args, profiled.program)
+    _print_cache_stages(args, profiled.stages)
+    return profiled
+
+
 def _cmd_recommend(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    program = _compile_instrumented(args, source)
-    result, runtime = program.run(entry=args.entry, **_run_kwargs(args))
+    profiled = _profile(args, source)
+    program, result, runtime = \
+        profiled.program, profiled.result, profiled.runtime
     _print_degradation(runtime)
     if args.show_output:
         print("program output:", " ".join(result.output))
@@ -112,8 +141,8 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 def _cmd_psec(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    program = _compile_instrumented(args, source)
-    _, runtime = program.run(entry=args.entry, **_run_kwargs(args))
+    profiled = _profile(args, source)
+    program, runtime = profiled.program, profiled.runtime
     _print_degradation(runtime)
     for roi_id, psec in sorted(runtime.psecs.items()):
         roi = program.module.rois[roi_id]
@@ -138,13 +167,16 @@ def _cmd_psec(args: argparse.Namespace) -> int:
 def _cmd_overhead(args: argparse.Namespace) -> int:
     source = _read(args.file)
     kwargs = _run_kwargs(args)
-    base, _ = compile_baseline(source, name=args.file).run(
+    session = _session_for(args)
+    # Baseline builds have no profile artifact (nothing but a RunResult);
+    # the compile is still cached, the VM run is live.
+    base_compile = session.compile(source, "baseline", name=args.file)
+    base, _ = base_compile.program.run(
         entry=args.entry, budgets=kwargs.get("budgets"))
-    naive, _ = compile_naive(source, args.abstraction,
-                             name=args.file).run(entry=args.entry, **kwargs)
+    naive, _ = _leg(session, args, source, "naive", kwargs)
     # --passes swaps out the CARMOT leg of the comparison.
-    program = _compile_instrumented(args, source)
-    carmot, _ = program.run(entry=args.entry, **kwargs)
+    carmot, _ = _leg(session, args, source, _profiling_pipeline(args),
+                     kwargs)
     print(f"baseline cost : {base.cost}")
     print(f"naive         : {naive.cost}  ({naive.cost / base.cost:.1f}x)")
     print(f"carmot        : {carmot.cost}  ({carmot.cost / base.cost:.1f}x)")
@@ -152,27 +184,61 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def _leg(session: Session, args: argparse.Namespace, source: str,
+         pipeline: str, kwargs):
+    """One instrumented leg of the overhead comparison, profile-cached."""
+    profiled = session.profile(
+        source, pipeline, abstraction=args.abstraction, name=args.file,
+        entry=args.entry, **kwargs,
+    )
+    _maybe_print_pass_stats(args, profiled.program)
+    return profiled.result, profiled.runtime
+
+
 def _cmd_ir(args: argparse.Namespace) -> int:
     source = _read(args.file)
+    session = _session_for(args)
     if getattr(args, "passes", None):
         # An explicit pipeline overrides --mode.
-        program = compile_pipeline(source, args.passes, args.abstraction,
-                                   name=args.file)
-        _maybe_print_pass_stats(args, program)
-        module = program.module
-    elif args.mode == "carmot":
-        program = compile_carmot(source, args.abstraction, name=args.file)
-        _maybe_print_pass_stats(args, program)
-        module = program.module
-    elif args.mode == "naive":
-        module = compile_naive(source, args.abstraction,
-                               name=args.file).module
-    elif args.mode == "baseline":
-        module = compile_baseline(source, name=args.file).module
+        pipeline: Optional[str] = args.passes
+    elif args.mode in ("baseline", "naive", "carmot"):
+        pipeline = args.mode
     else:
-        module = frontend(source, args.file)
+        pipeline = None  # plain: frontend only
+    if pipeline is None:
+        module, _, _ = session.frontend(source, args.file)
+    else:
+        compiled = session.compile(source, pipeline, args.abstraction,
+                                   name=args.file)
+        _maybe_print_pass_stats(args, compiled.program)
+        _print_cache_stages(args, compiled.stages)
+        module = compiled.program.module
     print(module)
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = ArtifactStore.open(getattr(args, "cache_dir", None))
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"cache dir : {store.root}")
+        print(f"entries   : {stats.entries}")
+        print(f"bytes     : {stats.payload_bytes}")
+        for kind in sorted(stats.by_kind):
+            print(f"  {kind:8s}: {stats.by_kind[kind]}")
+        print(f"session   : {stats.hits} hit(s), {stats.misses} miss(es), "
+              f"{stats.evicted_corrupt} corrupt entr(ies) evicted")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entr(ies) from {store.root}")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(f"checked {report['checked']} entr(ies): {report['ok']} ok, "
+              f"{report['evicted']} corrupt (evicted)")
+        return 0 if report["evicted"] == 0 else 1
+    raise ReproError(f"unknown cache action {args.action!r}")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -194,6 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="CARMOT reproduction: PSEC profiling of MiniC programs",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command")
 
     def common(p: argparse.ArgumentParser) -> None:
@@ -242,7 +310,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--print-pass-stats", action="store_true",
             help="print per-pass wall time, analysis cache hits/misses, "
-                 "and IR deltas for the compilation pipeline",
+                 "and IR deltas for the compilation pipeline (implies "
+                 "--no-cache: the report only exists on a live compile)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="artifact cache location (default: $REPRO_CACHE_DIR or "
+                 "./.repro-cache)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="run every stage live; do not read or write the cache",
+        )
+        p.add_argument(
+            "--cache-stats", action="store_true",
+            help="report per-stage cache hit/miss on stderr",
         )
 
     rec = sub.add_parser("recommend", help="print recommendations (default)")
@@ -280,13 +362,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_runtime.json", metavar="PATH",
                        help="write the JSON report here ('-' = stdout only)")
     bench.set_defaults(func=_cmd_bench)
+
+    cache = sub.add_parser(
+        "cache", help="artifact cache maintenance (stats/clear/verify)"
+    )
+    cache.add_argument("action", choices=["stats", "clear", "verify"],
+                       help="stats: entries/bytes per kind; clear: delete "
+                            "all entries; verify: re-hash and evict "
+                            "corrupt entries")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="artifact cache location (default: "
+                            "$REPRO_CACHE_DIR or ./.repro-cache)")
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Default subcommand: treat `repro foo.mc` as `repro recommend foo.mc`.
-    known = {"recommend", "psec", "overhead", "ir", "bench", "-h", "--help"}
+    known = {"recommend", "psec", "overhead", "ir", "bench", "cache",
+             "-h", "--help", "--version"}
     if argv and argv[0] not in known:
         argv.insert(0, "recommend")
     parser = build_parser()

@@ -22,9 +22,11 @@ import hashlib
 import json
 import platform
 import random
+import tempfile
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro._version import __version__
 from repro.compiler import compile_baseline, compile_carmot, compile_naive
 from repro.ir.instructions import SourceLoc, VarInfo
 from repro.ir.module import Module
@@ -278,6 +280,58 @@ def _measure_workload(workload) -> List[Dict[str, object]]:
 
 
 # ---------------------------------------------------------------------------
+# Session cache: warm vs cold
+# ---------------------------------------------------------------------------
+
+#: The warm run reads three small JSON artifacts instead of parsing,
+#: running seven passes, and interpreting the program — anything less
+#: than this speedup means the cache is broken, not merely slow.
+_CACHE_MIN_SPEEDUP = 5.0
+
+
+def _measure_cache(workload, warm_repeats: int = 3) -> Dict[str, object]:
+    """Cold-vs-warm session timings for one end-to-end workload.
+
+    Cold: empty store — parse, lower, run the CARMOT pipeline, execute,
+    characterize, and persist every stage.  Warm: the same call again —
+    all three stages load from the store and the VM never runs.  The
+    returned payload digests gate byte-identity of the PSEC reports.
+    """
+    from repro.session import Session
+
+    source = workload.test_source("openmp")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+        session = Session(cache_dir=cache)
+        start = time.perf_counter()
+        cold = session.profile(source, "carmot", abstraction="parallel_for",
+                               name=workload.name)
+        cold_s = time.perf_counter() - start
+        warm_s = None
+        warm = None
+        for _ in range(warm_repeats):
+            start = time.perf_counter()
+            warm = session.profile(
+                source, "carmot", abstraction="parallel_for",
+                name=workload.name,
+            )
+            elapsed = time.perf_counter() - start
+            warm_s = elapsed if warm_s is None else min(warm_s, elapsed)
+    digest_cold = hashlib.sha256(cold.payload.encode()).hexdigest()
+    digest_warm = hashlib.sha256(warm.payload.encode()).hexdigest()
+    return {
+        "workload": workload.name,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup_x": round(cold_s / warm_s, 2) if warm_s else None,
+        "stages_cold": cold.stages,
+        "stages_warm": warm.stages,
+        "profile_digest_cold": digest_cold,
+        "profile_digest_warm": digest_warm,
+        "payload_identical": digest_cold == digest_warm,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -335,6 +389,22 @@ def run_bench(
     for name in names:
         workload_rows.extend(_measure_workload(by_name[name]))
 
+    # The cache leg is cheap (one cold run per workload), so it always
+    # covers the full bench set — quick mode included, where the lone
+    # quick workload is small enough for timer noise to matter.
+    cache_rows = [_measure_cache(by_name[name]) for name in _BENCH_WORKLOADS]
+    # Byte-identity must hold on every workload; the speedup gate uses
+    # the best one (tiny workloads sit near the floor where fixed costs
+    # and timer noise dominate).
+    cache_speedup = max(
+        (row["speedup_x"] for row in cache_rows if row["speedup_x"]),
+        default=0.0,
+    )
+    cache_ok = (
+        all(row["payload_identical"] for row in cache_rows)
+        and cache_speedup >= _CACHE_MIN_SPEEDUP
+    )
+
     checks = {
         "min_speedup": min_speedup,
         "speedup": best_speedup,
@@ -344,7 +414,15 @@ def run_bench(
             for shape, s in streams.items()
         },
         "digests_match": digests_match,
-        "passed": bool(digests_match and best_speedup >= min_speedup),
+        "cache_min_speedup": _CACHE_MIN_SPEEDUP,
+        "cache_speedup": cache_speedup,
+        "cache_payload_identical": all(
+            row["payload_identical"] for row in cache_rows
+        ),
+        "cache_ok": cache_ok,
+        "passed": bool(
+            digests_match and best_speedup >= min_speedup and cache_ok
+        ),
     }
     return {
         "meta": {
@@ -352,9 +430,11 @@ def run_bench(
             "quick": quick,
             "python": platform.python_version(),
             "shards": shards,
+            "version": __version__,
         },
         "event_streams": streams,
         "workloads": workload_rows,
+        "cache": cache_rows,
         "checks": checks,
     }
 
@@ -391,12 +471,27 @@ def render_bench(report: Dict[str, object]) -> str:
         ["workload", "mode", "encoding", "overhead_x", "wall_s", "events"],
         wrows,
     ))
+    crows = [
+        (r["workload"], r["cold_s"], r["warm_s"],
+         f"{r['speedup_x']:.2f}" if r["speedup_x"] else "-",
+         "yes" if r["payload_identical"] else "NO")
+        for r in report["cache"]
+    ]
+    lines.append("")
+    lines.append(render_table(
+        "Session cache (cold = empty store, warm = all stages hit)",
+        ["workload", "cold_s", "warm_s", "speedup_x", "identical"],
+        crows,
+    ))
     checks = report["checks"]
     verdict = "PASS" if checks["passed"] else "FAIL"
     lines.append("")
     lines.append(
         f"checks: {verdict} (best speedup {checks['speedup']:.2f}x on "
         f"{checks['speedup_stream']} >= {checks['min_speedup']:.2f}x "
-        f"required, digests_match={checks['digests_match']})"
+        f"required, digests_match={checks['digests_match']}, "
+        f"cache {checks['cache_speedup']:.2f}x >= "
+        f"{checks['cache_min_speedup']:.2f}x warm/cold, "
+        f"cache_payload_identical={checks['cache_payload_identical']})"
     )
     return "\n".join(lines)

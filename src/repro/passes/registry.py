@@ -14,6 +14,8 @@ Figure-8 toggles are spelled ``"carmot,-pin-reduction"``.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, List, Sequence, Type, Union
 
 from repro.errors import ReproError
@@ -22,6 +24,13 @@ from repro.passes.manager import Pass
 
 class UnknownPassError(ReproError):
     pass
+
+
+#: Version of the pass registry's *semantics*: bump when a registered
+#: pass changes behaviour without changing its name, so pipeline cache
+#: keys derived from :func:`registry_fingerprint` stop matching old
+#: artifacts.
+REGISTRY_VERSION = 1
 
 
 _PASSES: Dict[str, Type[Pass]] = {}
@@ -81,6 +90,25 @@ def _ensure_registered() -> None:
     that happened before answering registry queries."""
     if not _PASSES:
         import repro.compiler  # noqa: F401  (side effect: registration)
+
+
+def registry_fingerprint() -> str:
+    """Digest of the registry's contents: registered pass names, alias
+    expansions, and :data:`REGISTRY_VERSION`.
+
+    Part of every pass-pipeline cache key (:mod:`repro.session.keys`):
+    registering, removing, or re-aliasing a pass — or bumping
+    ``REGISTRY_VERSION`` for a behavioural change — invalidates cached
+    pipeline artifacts without touching frontend or profile entries.
+    """
+    _ensure_registered()
+    doc = {
+        "version": REGISTRY_VERSION,
+        "passes": registered_pass_names(),
+        "aliases": {alias: _ALIASES[alias] for alias in sorted(_ALIASES)},
+    }
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def parse_pipeline(text: Union[str, Sequence[str]]) -> List[str]:

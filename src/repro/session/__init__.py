@@ -1,0 +1,43 @@
+"""Toolchain sessions: staged compile/profile with artifact reuse.
+
+See :mod:`repro.session.session` for the stage decomposition,
+:mod:`repro.session.store` for the on-disk format, and
+:mod:`repro.session.keys` for cache-key anatomy and the invalidation
+matrix (also documented in DESIGN.md §9).
+"""
+
+from repro.session.keys import (
+    environment_fingerprint,
+    frontend_key,
+    pipeline_key,
+    profile_key,
+)
+from repro.session.session import (
+    STAGES,
+    CompileResult,
+    ProfileResult,
+    Session,
+)
+from repro.session.store import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    ArtifactStore,
+    StoreStats,
+    resolve_cache_dir,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CACHE_DIR_ENV",
+    "CompileResult",
+    "DEFAULT_CACHE_DIR",
+    "ProfileResult",
+    "STAGES",
+    "Session",
+    "StoreStats",
+    "environment_fingerprint",
+    "frontend_key",
+    "pipeline_key",
+    "profile_key",
+    "resolve_cache_dir",
+]

@@ -1,0 +1,151 @@
+"""Cache-key derivation for session stages.
+
+Every key is the SHA-256 of a canonical JSON document that names the
+stage, embeds the **environment fingerprint**, and lists exactly the
+inputs the stage's output depends on.  Stage keys compose — the pipeline
+key embeds the frontend artifact digest, the profile key embeds the
+post-pipeline IR digest — which yields the invalidation matrix for free:
+
+===================  ========  ========  =======
+changed input        frontend  pipeline  profile
+===================  ========  ========  =======
+source text          miss      miss      miss
+pass pipeline/opts   hit       miss      miss
+registry version     hit       miss      miss
+fault plan/budgets   hit       hit       miss
+event encoding       hit       hit       miss
+entry/args/costs     hit       hit       miss
+Python major.minor   miss      miss      miss
+schema versions      miss      miss      miss
+===================  ========  ========  =======
+
+The environment fingerprint (the stale-cache footgun fix) carries the
+Python ``major.minor`` and every artifact schema version, so 3.10 and
+3.12 CI runners never share entries and a schema bump orphans old
+artifacts instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence
+
+from repro._version import (
+    IR_SCHEMA_VERSION,
+    PROFILE_SCHEMA_VERSION,
+    STORE_VERSION,
+)
+from repro.passes.registry import registry_fingerprint
+
+
+def environment_fingerprint() -> Dict[str, object]:
+    """The part of every cache key that pins the toolchain environment."""
+    return {
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+        "ir_schema": IR_SCHEMA_VERSION,
+        "profile_schema": PROFILE_SCHEMA_VERSION,
+        "store": STORE_VERSION,
+    }
+
+
+def _digest(stage: str, material: Dict[str, object]) -> str:
+    doc = {"stage": stage, "env": environment_fingerprint(), **material}
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def frontend_key(source: str, name: str) -> str:
+    """Key of the parse+lower stage output (the pre-pass IR module)."""
+    return _digest("frontend", {"source": source, "name": name})
+
+
+def pipeline_key(
+    frontend_digest: str,
+    pass_names: Sequence[str],
+    abstraction: Optional[str],
+    options_doc: Optional[Dict[str, object]],
+) -> str:
+    """Key of the pass-pipeline+instrument stage output.
+
+    ``pass_names`` is the *parsed* pipeline (aliases expanded, removals
+    applied), so ``"carmot"`` and its literal seven-pass spelling share
+    one artifact.  The registry fingerprint folds in pass availability
+    and :data:`~repro.passes.registry.REGISTRY_VERSION`.
+    """
+    return _digest("pipeline", {
+        "frontend": frontend_digest,
+        "passes": list(pass_names),
+        "abstraction": abstraction,
+        "options": options_doc,
+        "registry": registry_fingerprint(),
+    })
+
+
+def profile_key(
+    ir_digest: str,
+    mode: str,
+    run_config: Dict[str, object],
+) -> str:
+    """Key of the execute+characterize stage output (the profile).
+
+    Keyed on the post-pipeline IR *content* digest — not the pipeline
+    key — so two pipelines producing identical instrumented IR share one
+    profile.  ``run_config`` carries everything that steers execution:
+    entry/args, cost model, VM budgets, resilience policy, fault plan,
+    event encoding, batching, shards.
+    """
+    return _digest("profile", {
+        "ir": ir_digest,
+        "mode": mode,
+        "run": run_config,
+    })
+
+
+def run_config_doc(
+    entry: str,
+    args: Sequence[object],
+    cost_model,
+    max_instructions: int,
+    budgets,
+    abstraction: Optional[str],
+    options,
+    config_kwargs: Dict[str, object],
+) -> Dict[str, object]:
+    """Canonical, JSON-able view of one ``CompiledProgram.run()`` call.
+
+    ``config_kwargs`` are the ``RuntimeConfig`` overrides the CLI passes
+    (``event_encoding``, ``batch_size``, ``pipeline_shards``,
+    ``resilience``, ``fault_plan``); dataclass values are flattened via
+    ``asdict`` so two equal plans produce equal documents.
+    """
+    config: Dict[str, object] = {}
+    for key in sorted(config_kwargs):
+        config[key] = _jsonable(config_kwargs[key])
+    return {
+        "entry": entry,
+        "args": [_jsonable(a) for a in args],
+        "cost_model": _jsonable(cost_model),
+        "max_instructions": max_instructions,
+        "budgets": _jsonable(budgets),
+        "abstraction": abstraction,
+        "options": _jsonable(options),
+        "config": config,
+    }
+
+
+def _jsonable(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "__dataclass_fields__"):
+        doc = asdict(value)
+        return {k: _jsonable(v) for k, v in sorted(doc.items())}
+    if hasattr(value, "value") and hasattr(type(value), "__members__"):
+        return value.value  # enum
+    return repr(value)

@@ -1,0 +1,260 @@
+"""Staged toolchain sessions with incremental artifact reuse.
+
+A :class:`Session` decomposes the monolithic "parse-and-run" flow into
+stages backed by the content-addressed :class:`ArtifactStore`:
+
+``frontend``
+    parse + lower + verify → the pre-pass IR module, cached as a
+    serialized IR artifact keyed on the source text;
+``pipeline``
+    pass pipeline + instrumentation → the runnable module, keyed on the
+    frontend artifact digest, the parsed pass list, options, and the
+    registry fingerprint;
+``profile``
+    execute + characterize → the full profile (PSECs, ASMT, degradation,
+    run result), keyed on the post-pipeline IR digest and the complete
+    run configuration.
+
+Stage outputs are *normalized through their artifacts*: even on a cache
+miss the stage returns ``deserialize(serialize(result))``, so downstream
+stages see bit-identical inputs whether the stage was computed or loaded
+— a cold run and a warm run produce byte-identical artifacts.
+
+A stale or foreign artifact (schema bump, hand-edited entry) fails
+deserialization and is treated as a miss: the stage recomputes and
+overwrites.  With ``enabled=False`` the session runs every stage live —
+semantics are identical, nothing touches disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.compiler.carmot import CarmotBuildInfo, CarmotOptions
+from repro.compiler.driver import BuildMode, CompiledProgram
+from repro.compiler.driver import frontend as live_frontend
+from repro.compiler.driver import _resolve_abstraction
+from repro.errors import ReproError
+from repro.ir.module import Module
+from repro.ir.serialize import (
+    IRSerializeError,
+    deserialize_module,
+    payload_digest,
+    serialize_module,
+)
+from repro.ir.verifier import verify_module
+from repro.passes.manager import PassManager, PipelineContext
+from repro.passes.registry import parse_pipeline
+from repro.resilience.budgets import ExecutionBudgets
+from repro.runtime.config import naive_policy_for, policy_for
+from repro.runtime.psec_json import (
+    Profile,
+    ProfileSerializeError,
+    deserialize_profile,
+    serialize_profile,
+)
+from repro.session import keys
+from repro.session.store import ArtifactStore
+from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
+
+#: Stage names, in flow order (parse/lower share the frontend artifact,
+#: pass-pipeline/instrument share the pipeline artifact, and
+#: execute/characterize share the profile artifact).
+STAGES = ("frontend", "pipeline", "profile")
+
+
+@dataclass
+class CompileResult:
+    """Outcome of the frontend+pipeline stages."""
+
+    program: CompiledProgram
+    #: Content digest of the post-pipeline IR artifact (profile key input).
+    ir_digest: str
+    #: Stage → "hit" | "miss" for this call.
+    stages: Dict[str, str]
+
+
+@dataclass
+class ProfileResult:
+    """Outcome of the full flow up to characterization.
+
+    ``runtime`` is a live ``CarmotRuntime`` on a cache miss and a
+    :class:`~repro.runtime.psec_json.Profile` on a hit; both expose
+    ``psecs``/``asmt``/``degradation``/``degraded``/``module``, which is
+    every attribute the read-side consumers use.
+    """
+
+    result: object
+    runtime: object
+    program: CompiledProgram
+    #: Canonical serialized profile (byte-identical warm vs cold).
+    payload: str
+    stages: Dict[str, str]
+
+    @property
+    def cached(self) -> bool:
+        return self.stages.get("profile") == "hit"
+
+
+class Session:
+    """One toolchain session over one artifact store."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.store: Optional[ArtifactStore] = (
+            ArtifactStore.open(cache_dir) if enabled else None
+        )
+
+    # -- stage: frontend (parse + lower) ------------------------------------
+
+    def frontend(self, source: str, name: str = "program"
+                 ) -> Tuple[Module, str, str]:
+        """Returns ``(module, artifact_digest, "hit"|"miss")``."""
+        key = keys.frontend_key(source, name)
+        payload = self.store.get(key) if self.store else None
+        if payload is not None:
+            try:
+                return deserialize_module(payload), \
+                    payload_digest(payload), "hit"
+            except IRSerializeError:
+                payload = None
+        module = live_frontend(source, name)
+        payload = serialize_module(module)
+        if self.store is not None:
+            self.store.put(key, payload, "ir")
+        # Normalize through the artifact (see module docstring).
+        return deserialize_module(payload), payload_digest(payload), "miss"
+
+    # -- stage: pass pipeline + instrument ----------------------------------
+
+    def compile(
+        self,
+        source: str,
+        pipeline: Union[str, Sequence[str]] = "carmot",
+        abstraction: Optional[str] = None,
+        options: Optional[CarmotOptions] = None,
+        name: str = "program",
+    ) -> CompileResult:
+        """The session analogue of ``compile_pipeline``."""
+        names = parse_pipeline(pipeline)
+        module, frontend_digest, frontend_stage = self.frontend(source, name)
+        if "naive-instrument" in names:
+            mode = BuildMode.NAIVE
+            policy = naive_policy_for(_resolve_abstraction(module, abstraction))
+        elif "instrument" in names:
+            mode = BuildMode.CARMOT
+            policy = policy_for(_resolve_abstraction(module, abstraction))
+        else:
+            mode = BuildMode.BASELINE
+            policy = None
+        if mode is BuildMode.CARMOT:
+            options = options or CarmotOptions()
+        key = keys.pipeline_key(
+            frontend_digest, names, abstraction, keys._jsonable(options)
+        )
+        payload = self.store.get(key) if self.store else None
+        compiled: Optional[Module] = None
+        build_info = None
+        instrument_report = None
+        pass_report = None
+        if payload is not None:
+            try:
+                compiled = deserialize_module(payload)
+                pipeline_stage = "hit"
+            except IRSerializeError:
+                payload = None
+        if compiled is None:
+            build_info = (
+                CarmotBuildInfo(options=options)
+                if mode is BuildMode.CARMOT else None
+            )
+            ctx = PipelineContext(policy=policy, build_info=build_info)
+            manager = PassManager(names, ctx)
+            pass_report = manager.run(module)
+            if build_info is not None:
+                build_info.pass_report = pass_report
+            verify_module(module)
+            instrument_report = ctx.instrument_report
+            payload = serialize_module(module)
+            if self.store is not None:
+                self.store.put(key, payload, "ir")
+            compiled = deserialize_module(payload)
+            pipeline_stage = "miss"
+        program = CompiledProgram(
+            compiled, mode, policy=policy,
+            options=options if mode is BuildMode.CARMOT else None,
+            build_info=build_info, report=instrument_report,
+            pass_report=pass_report,
+        )
+        return CompileResult(
+            program=program,
+            ir_digest=payload_digest(payload),
+            stages={"frontend": frontend_stage, "pipeline": pipeline_stage},
+        )
+
+    # -- stage: execute + characterize --------------------------------------
+
+    def profile(
+        self,
+        source: str,
+        pipeline: Union[str, Sequence[str]] = "carmot",
+        abstraction: Optional[str] = None,
+        options: Optional[CarmotOptions] = None,
+        name: str = "program",
+        entry: str = "main",
+        args: Tuple = (),
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        max_instructions: int = 2_000_000_000,
+        budgets: Optional[ExecutionBudgets] = None,
+        **config_kwargs,
+    ) -> ProfileResult:
+        """Compile (cached) and profile (cached): the full flow.
+
+        On a profile hit the VM never executes — result, PSECs, ASMT and
+        degradation report all load from the artifact.
+        """
+        compile_result = self.compile(
+            source, pipeline, abstraction=abstraction, options=options,
+            name=name,
+        )
+        program = compile_result.program
+        if program.mode is BuildMode.BASELINE:
+            raise ReproError(
+                "cannot profile an uninstrumented (baseline) build"
+            )
+        run_doc = keys.run_config_doc(
+            entry, args, cost_model, max_instructions, budgets,
+            abstraction, options, config_kwargs,
+        )
+        key = keys.profile_key(
+            compile_result.ir_digest, program.mode.value, run_doc
+        )
+        stages = dict(compile_result.stages)
+        payload = self.store.get(key) if self.store else None
+        if payload is not None:
+            try:
+                profile = deserialize_profile(payload, program.module)
+                stages["profile"] = "hit"
+                return ProfileResult(
+                    result=profile.result, runtime=profile, program=program,
+                    payload=payload, stages=stages,
+                )
+            except ProfileSerializeError:
+                payload = None
+        result, runtime = program.run(
+            entry=entry, args=args, cost_model=cost_model,
+            max_instructions=max_instructions, budgets=budgets,
+            **config_kwargs,
+        )
+        payload = serialize_profile(runtime, result)
+        if self.store is not None:
+            self.store.put(key, payload, "profile")
+        stages["profile"] = "miss"
+        return ProfileResult(
+            result=result, runtime=runtime, program=program,
+            payload=payload, stages=stages,
+        )

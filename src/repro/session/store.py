@@ -1,0 +1,230 @@
+"""On-disk content-addressed artifact store.
+
+Layout (``STORE_VERSION`` 1)::
+
+    <root>/objects/<first two key chars>/<key>.json
+
+Each entry is a small JSON envelope around the artifact payload::
+
+    {"store_version": 1, "key": "<sha256>", "kind": "ir|profile|...",
+     "payload_sha256": "<sha256 of payload>", "payload": "<text>"}
+
+Keys are SHA-256 hex digests computed by :mod:`repro.session.keys`; the
+payload is an already-canonical artifact string (serialized IR, profile,
+…), so equal content is stored once no matter how it was produced.
+
+Robustness contract (exercised by the cache tests and the CI cache-smoke
+job): a corrupt entry — truncated file, invalid JSON, bad envelope,
+payload hash mismatch, foreign store version — is **evicted and treated
+as a miss**, never raised to the caller.  Writes are atomic
+(tmp + ``os.replace``), so a crashed writer leaves at worst a stray tmp
+file, not a half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro._version import STORE_VERSION
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def resolve_cache_dir(cache_dir: Optional[str] = None) -> Path:
+    """Explicit argument > ``$REPRO_CACHE_DIR`` > ``./.repro-cache``."""
+    if cache_dir:
+        return Path(cache_dir)
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path(DEFAULT_CACHE_DIR)
+
+
+@dataclass
+class StoreStats:
+    """Per-store counters; hits/misses/puts are this process only,
+    entries/bytes reflect the store on disk."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evicted_corrupt: int = 0
+    entries: int = 0
+    payload_bytes: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+
+class ArtifactStore:
+    """Content-addressed artifact store rooted at one directory."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evicted = 0
+
+    @classmethod
+    def open(cls, cache_dir: Optional[str] = None) -> "ArtifactStore":
+        return cls(resolve_cache_dir(cache_dir))
+
+    # -- paths --------------------------------------------------------------
+
+    def _objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def _entry_path(self, key: str) -> Path:
+        return self._objects_dir() / key[:2] / f"{key}.json"
+
+    def _entry_files(self) -> Iterator[Path]:
+        objects = self._objects_dir()
+        if not objects.is_dir():
+            return
+        for bucket in sorted(objects.iterdir()):
+            if not bucket.is_dir():
+                continue
+            yield from sorted(bucket.glob("*.json"))
+
+    # -- core API -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[str]:
+        """The payload stored under ``key``, or None (miss).  Corrupt
+        entries are evicted and count as misses."""
+        path = self._entry_path(key)
+        try:
+            raw = path.read_text()
+        except (FileNotFoundError, OSError):
+            self._misses += 1
+            return None
+        payload = self._validate(raw, expect_key=key)
+        if payload is None:
+            self._evict(path)
+            self._misses += 1
+            return None
+        self._hits += 1
+        return payload
+
+    def put(self, key: str, payload: str, kind: str) -> None:
+        """Store ``payload`` under ``key`` atomically.  Best-effort: an
+        unwritable cache directory degrades to a no-op, it never breaks
+        the computation whose result it was caching."""
+        envelope = json.dumps(
+            {
+                "store_version": STORE_VERSION,
+                "key": key,
+                "kind": kind,
+                "payload_sha256": _sha256(payload),
+                "payload": payload,
+            },
+            sort_keys=True,
+        )
+        path = self._entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(envelope)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self._puts += 1
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entry_files()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def verify(self) -> Dict[str, int]:
+        """Re-hash every entry; evict the corrupt ones.
+
+        Returns ``{"checked": n, "ok": n, "evicted": n}``.
+        """
+        checked = ok = evicted = 0
+        for path in list(self._entry_files()):
+            checked += 1
+            try:
+                raw = path.read_text()
+            except OSError:
+                self._evict(path)
+                evicted += 1
+                continue
+            if self._validate(raw, expect_key=path.stem) is None:
+                self._evict(path)
+                evicted += 1
+            else:
+                ok += 1
+        return {"checked": checked, "ok": ok, "evicted": evicted}
+
+    def stats(self) -> StoreStats:
+        stats = StoreStats(
+            hits=self._hits, misses=self._misses, puts=self._puts,
+            evicted_corrupt=self._evicted,
+        )
+        for path in self._entry_files():
+            try:
+                doc = json.loads(path.read_text())
+                payload = doc["payload"]
+                kind = doc.get("kind", "?")
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            stats.entries += 1
+            stats.payload_bytes += len(payload)
+            stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        return stats
+
+    # -- internals ----------------------------------------------------------
+
+    def _validate(self, raw: str, expect_key: str) -> Optional[str]:
+        try:
+            doc = json.loads(raw)
+        except ValueError:
+            return None
+        if not isinstance(doc, dict):
+            return None
+        if doc.get("store_version") != STORE_VERSION:
+            return None
+        if doc.get("key") != expect_key:
+            return None
+        payload = doc.get("payload")
+        if not isinstance(payload, str):
+            return None
+        if doc.get("payload_sha256") != _sha256(payload):
+            return None
+        return payload
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self._evicted += 1
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

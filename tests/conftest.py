@@ -1,0 +1,16 @@
+"""Shared fixtures: keep the artifact cache out of the repo tree.
+
+Session-backed entry points (the CLI, ``Session()``) default the artifact
+store to ``$REPRO_CACHE_DIR`` or ``./.repro-cache``.  Tests must neither
+litter the working tree nor share warm artifacts across test cases, so
+every test gets a private store under its ``tmp_path``.
+"""
+
+import pytest
+
+from repro.session.store import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "repro-cache"))

@@ -1,0 +1,159 @@
+"""Differential cache tests: a cached profile must be indistinguishable
+from a recomputed one — across every event encoding, under fault
+injection and budgets, and through the CLI.
+
+Each case runs the same program three ways: cold (populating the store),
+warm (every stage hits), and live (``enabled=False`` / ``--no-cache``).
+All three must agree byte-for-byte on the serialized profile and, at the
+CLI level, on stdout.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.resilience import FaultPlan, parse_budget_spec
+from repro.session import Session
+
+SOURCE = """
+int work(int n) {
+  int i, x, acc;
+  acc = 0;
+  #pragma carmot roi abstraction(parallel_for)
+  for (i = 0; i < n; ++i) {
+    x = i * 3;
+    acc = acc + x;
+  }
+  return acc;
+}
+int main() { print_int(work(40)); return 0; }
+"""
+
+#: The three runtime event encodings the differential suite must cover.
+ENCODINGS = {
+    "object": {"event_encoding": "object"},
+    "packed": {"event_encoding": "packed"},
+    "packed_sharded": {"event_encoding": "packed", "pipeline_shards": 2},
+}
+
+BUDGET = "steps=5000000,heap=1048576,depth=256,retries=2,degrade=1"
+FAULTS = "seed=42;crash@1;drop@3"
+
+
+def _resilient_kwargs():
+    spec = parse_budget_spec(BUDGET)
+    return {
+        "budgets": spec.vm,
+        "resilience": spec.runtime,
+        "fault_plan": FaultPlan.parse(FAULTS),
+        "batch_size": 8,
+    }
+
+
+@pytest.mark.parametrize("encoding", sorted(ENCODINGS))
+def test_cached_profile_matches_recomputed(tmp_path, encoding):
+    kwargs = ENCODINGS[encoding]
+    cached = Session(cache_dir=str(tmp_path / "store"))
+    cold = cached.profile(SOURCE, "carmot", **kwargs)
+    warm = cached.profile(SOURCE, "carmot", **kwargs)
+    live = Session(enabled=False).profile(SOURCE, "carmot", **kwargs)
+    assert warm.cached and not cold.cached
+    assert cold.payload == warm.payload == live.payload
+
+
+@pytest.mark.parametrize("encoding", sorted(ENCODINGS))
+def test_cached_profile_matches_under_faults_and_budgets(tmp_path, encoding):
+    kwargs = dict(ENCODINGS[encoding], **_resilient_kwargs())
+    cached = Session(cache_dir=str(tmp_path / "store"))
+    cold = cached.profile(SOURCE, "carmot", **kwargs)
+    warm = cached.profile(SOURCE, "carmot", **kwargs)
+    live = Session(enabled=False).profile(SOURCE, "carmot", **kwargs)
+    assert warm.cached
+    assert cold.payload == warm.payload == live.payload
+    # The degradation report survives the round trip: a degraded cold run
+    # must read back as degraded, not silently healthy.
+    assert warm.runtime.degraded == live.runtime.degraded
+
+
+def test_encodings_share_compile_but_not_profile(tmp_path):
+    session = Session(cache_dir=str(tmp_path / "store"))
+    session.profile(SOURCE, "carmot", **ENCODINGS["object"])
+    packed = session.profile(SOURCE, "carmot", **ENCODINGS["packed"])
+    assert packed.stages == {"frontend": "hit", "pipeline": "hit",
+                             "profile": "miss"}
+
+
+# -- the CLI as a cache client ----------------------------------------------
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "work.mc"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def _cli(capsys, argv):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestCliCaching:
+    def test_psec_output_identical_cold_warm_nocache(
+            self, source_file, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "store")]
+        cold = _cli(capsys, ["psec", source_file] + cache)
+        warm = _cli(capsys, ["psec", source_file] + cache)
+        live = _cli(capsys, ["psec", source_file, "--no-cache"])
+        assert cold == warm == live
+
+    def test_recommend_identical_under_faults(
+            self, source_file, tmp_path, capsys):
+        argv = ["recommend", source_file, "--budget", BUDGET,
+                "--fault-plan", FAULTS, "--batch-size", "8",
+                "--cache-dir", str(tmp_path / "store")]
+        assert _cli(capsys, argv) == _cli(capsys, argv)
+
+    def test_cache_stats_reports_stages(self, source_file, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "store")]
+        main(["psec", source_file] + cache)
+        capsys.readouterr()
+        assert main(["psec", source_file, "--cache-stats"] + cache) == 0
+        err = capsys.readouterr().err
+        assert "cache: frontend=hit pipeline=hit profile=hit" in err
+
+    def test_corrupt_entry_recomputes_identically(
+            self, source_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        cache = ["--cache-dir", str(store)]
+        fresh = _cli(capsys, ["psec", source_file] + cache)
+        for path in (store / "objects").rglob("*.json"):
+            path.write_text(path.read_text()[:40])
+        assert _cli(capsys, ["psec", source_file] + cache) == fresh
+
+    def test_cache_subcommands(self, source_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        cache = ["--cache-dir", str(store)]
+        _cli(capsys, ["psec", source_file] + cache)
+
+        out = _cli(capsys, ["cache", "stats"] + cache)
+        assert "entries" in out and "ir" in out and "profile" in out
+
+        assert main(["cache", "verify"] + cache) == 0
+
+        entries = list((store / "objects").rglob("*.json"))
+        entries[0].write_text("{broken")
+        assert main(["cache", "verify"] + cache) == 1
+        capsys.readouterr()
+
+        _cli(capsys, ["cache", "clear"] + cache)
+        assert list((store / "objects").rglob("*.json")) == []
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"

@@ -1,0 +1,257 @@
+"""Unit tests for the session layer: store, cache keys, staged reuse."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience.budgets import ExecutionBudgets
+from repro.session import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    ArtifactStore,
+    Session,
+    frontend_key,
+    pipeline_key,
+    profile_key,
+    resolve_cache_dir,
+)
+from repro.session import keys
+
+SOURCE = """
+int main() {
+  int i, acc;
+  acc = 0;
+  #pragma carmot roi abstraction(parallel_for)
+  for (i = 0; i < 8; ++i) { acc = acc + i; }
+  print_int(acc);
+  return 0;
+}
+"""
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+
+
+# -- cache-dir resolution ----------------------------------------------------
+
+class TestResolveCacheDir:
+    def test_argument_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert resolve_cache_dir(str(tmp_path / "arg")) == tmp_path / "arg"
+
+    def test_environment_beats_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert resolve_cache_dir(None) == tmp_path / "env"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert str(resolve_cache_dir(None)) == DEFAULT_CACHE_DIR
+
+
+# -- artifact store ----------------------------------------------------------
+
+class TestArtifactStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, "payload text", "ir")
+        assert store.get(KEY_A) == "payload text"
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get(KEY_A) is None
+        assert store.stats().misses == 1
+
+    def test_truncated_entry_is_evicted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, "payload", "ir")
+        path = store._entry_path(KEY_A)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert store.get(KEY_A) is None
+        assert not path.exists()
+        assert store.stats().evicted_corrupt == 1
+
+    def test_tampered_payload_is_evicted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, "payload", "ir")
+        path = store._entry_path(KEY_A)
+        doc = json.loads(path.read_text())
+        doc["payload"] = "tampered"
+        path.write_text(json.dumps(doc))
+        assert store.get(KEY_A) is None
+        assert not path.exists()
+
+    def test_foreign_store_version_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, "payload", "ir")
+        path = store._entry_path(KEY_A)
+        doc = json.loads(path.read_text())
+        doc["store_version"] = 999
+        path.write_text(json.dumps(doc))
+        assert store.get(KEY_A) is None
+
+    def test_verify_reports_and_evicts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, "good", "ir")
+        store.put(KEY_B, "bad", "profile")
+        store._entry_path(KEY_B).write_text("{not json")
+        assert store.verify() == {"checked": 2, "ok": 1, "evicted": 1}
+        assert store.get(KEY_A) == "good"
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, "one", "ir")
+        store.put(KEY_B, "two", "profile")
+        assert store.clear() == 2
+        assert store.stats().entries == 0
+
+    def test_stats_counts_kinds_and_bytes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY_A, "abcd", "ir")
+        store.put(KEY_B, "efghij", "profile")
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.payload_bytes == 10
+        assert stats.by_kind == {"ir": 1, "profile": 1}
+
+    def test_put_into_unwritable_root_is_a_noop(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the store root should be")
+        store = ArtifactStore(blocker)
+        store.put(KEY_A, "payload", "ir")  # must not raise
+        assert store.get(KEY_A) is None
+
+
+# -- cache keys: the invalidation matrix -------------------------------------
+
+class TestKeys:
+    def test_frontend_key_tracks_source_and_name(self):
+        base = frontend_key("int main() {}", "a")
+        assert frontend_key("int main() {}", "a") == base
+        assert frontend_key("int main() { return 0; }", "a") != base
+        assert frontend_key("int main() {}", "b") != base
+
+    def test_pipeline_key_tracks_passes_not_run_config(self):
+        base = pipeline_key("d" * 64, ["mem2reg", "instrument"],
+                            "parallel_for", None)
+        assert pipeline_key("d" * 64, ["mem2reg", "instrument"],
+                            "parallel_for", None) == base
+        assert pipeline_key("d" * 64, ["instrument"],
+                            "parallel_for", None) != base
+        assert pipeline_key("d" * 64, ["mem2reg", "instrument"],
+                            "task", None) != base
+        assert pipeline_key("e" * 64, ["mem2reg", "instrument"],
+                            "parallel_for", None) != base
+
+    def test_profile_key_tracks_every_run_knob(self):
+        def doc(**overrides):
+            kwargs = dict(entry="main", args=(), cost_model=None,
+                          max_instructions=1000, budgets=None,
+                          abstraction=None, options=None, config_kwargs={})
+            kwargs.update(overrides)
+            return keys.run_config_doc(**kwargs)
+
+        base = profile_key("d" * 64, "carmot", doc())
+        assert profile_key("d" * 64, "carmot", doc()) == base
+        for changed in (
+            doc(entry="other"),
+            doc(args=(3,)),
+            doc(max_instructions=999),
+            doc(budgets=ExecutionBudgets(5000, 1024, 16)),
+            doc(config_kwargs={"event_encoding": "object"}),
+            doc(config_kwargs={"batch_size": 7}),
+            doc(config_kwargs={"fault_plan": "seed=42;crash@3"}),
+        ):
+            assert profile_key("d" * 64, "carmot", changed) != base
+        assert profile_key("d" * 64, "naive", doc()) != base
+        assert profile_key("e" * 64, "carmot", doc()) != base
+
+    def test_environment_fingerprint_is_embedded(self, monkeypatch):
+        base = frontend_key("int main() {}", "a")
+        monkeypatch.setattr(keys, "IR_SCHEMA_VERSION", 999)
+        assert frontend_key("int main() {}", "a") != base
+
+
+# -- staged sessions ---------------------------------------------------------
+
+class TestSession:
+    def test_cold_then_warm(self, tmp_path):
+        session = Session(cache_dir=str(tmp_path))
+        cold = session.profile(SOURCE, "carmot")
+        assert cold.stages == {"frontend": "miss", "pipeline": "miss",
+                               "profile": "miss"}
+        assert not cold.cached
+        warm = session.profile(SOURCE, "carmot")
+        assert warm.stages == {"frontend": "hit", "pipeline": "hit",
+                               "profile": "hit"}
+        assert warm.cached
+        assert warm.payload == cold.payload
+
+    def test_profile_hit_never_executes_the_vm(self, tmp_path, monkeypatch):
+        session = Session(cache_dir=str(tmp_path))
+        session.profile(SOURCE, "carmot")
+
+        from repro.compiler.driver import CompiledProgram
+
+        def boom(self, *args, **kwargs):
+            raise AssertionError("VM executed on a profile hit")
+
+        monkeypatch.setattr(CompiledProgram, "run", boom)
+        warm = session.profile(SOURCE, "carmot")
+        assert warm.cached
+
+    def test_run_config_change_invalidates_only_profile(self, tmp_path):
+        session = Session(cache_dir=str(tmp_path))
+        session.profile(SOURCE, "carmot")
+        changed = session.profile(SOURCE, "carmot", batch_size=3)
+        assert changed.stages == {"frontend": "hit", "pipeline": "hit",
+                                  "profile": "miss"}
+
+    def test_pipeline_change_invalidates_pipeline_and_profile(self, tmp_path):
+        session = Session(cache_dir=str(tmp_path))
+        session.profile(SOURCE, "carmot")
+        changed = session.profile(SOURCE, "naive")
+        assert changed.stages == {"frontend": "hit", "pipeline": "miss",
+                                  "profile": "miss"}
+
+    def test_source_change_invalidates_everything(self, tmp_path):
+        session = Session(cache_dir=str(tmp_path))
+        session.profile(SOURCE, "carmot")
+        changed = session.profile(SOURCE.replace("acc + i", "acc - i"),
+                                  "carmot")
+        assert changed.stages == {"frontend": "miss", "pipeline": "miss",
+                                  "profile": "miss"}
+
+    def test_whitespace_change_reuses_downstream_stages(self, tmp_path):
+        # Content addressing, not input addressing: the edited source
+        # re-parses, but it lowers to the same IR artifact, so the
+        # pipeline and profile stages still hit.
+        session = Session(cache_dir=str(tmp_path))
+        session.profile(SOURCE, "carmot")
+        changed = session.profile(SOURCE + "\n", "carmot")
+        assert changed.stages == {"frontend": "miss", "pipeline": "hit",
+                                  "profile": "hit"}
+
+    def test_disabled_session_matches_enabled(self, tmp_path):
+        live = Session(enabled=False)
+        assert live.store is None
+        cached = Session(cache_dir=str(tmp_path))
+        assert live.profile(SOURCE, "carmot").payload == \
+            cached.profile(SOURCE, "carmot").payload
+
+    def test_baseline_profile_is_an_error(self, tmp_path):
+        session = Session(cache_dir=str(tmp_path))
+        with pytest.raises(ReproError, match="baseline"):
+            session.profile(SOURCE, "baseline")
+
+    def test_corrupt_profile_artifact_recomputes(self, tmp_path):
+        session = Session(cache_dir=str(tmp_path))
+        cold = session.profile(SOURCE, "carmot")
+        for path in (tmp_path / "objects").rglob("*.json"):
+            doc = json.loads(path.read_text())
+            if doc["kind"] == "profile":
+                doc["payload"] = doc["payload"][:10]
+                path.write_text(json.dumps(doc))
+        again = session.profile(SOURCE, "carmot")
+        assert again.stages["profile"] == "miss"
+        assert again.payload == cold.payload
