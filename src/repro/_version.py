@@ -8,7 +8,7 @@ cache key derived from it changes with it (stale entries are simply
 never looked up again — see :mod:`repro.session.keys`).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Format version of serialized IR modules (:mod:`repro.ir.serialize`).
 IR_SCHEMA_VERSION = 1
@@ -16,6 +16,10 @@ IR_SCHEMA_VERSION = 1
 #: Format version of serialized profiles — PSECs, ASMT, degradation
 #: report, and run result (:mod:`repro.runtime.psec_json`).
 PROFILE_SCHEMA_VERSION = 1
+
+#: Format version of serialized register bytecode
+#: (:mod:`repro.vm.bytecode`).
+BYTECODE_SCHEMA_VERSION = 1
 
 #: Layout version of the on-disk artifact store
 #: (:mod:`repro.session.store`).

@@ -70,10 +70,13 @@ def _session_for(args: argparse.Namespace) -> Session:
     """The artifact-backed session for this invocation.
 
     ``--no-cache`` runs everything live; so does ``--print-pass-stats``,
-    whose per-pass timing report only exists on a live compile.
+    whose per-pass timing report only exists on a live compile, and
+    ``--trace``, whose execution trace only exists when the VM actually
+    runs (a profile cache hit would skip it).
     """
     enabled = not getattr(args, "no_cache", False) \
-        and not getattr(args, "print_pass_stats", False)
+        and not getattr(args, "print_pass_stats", False) \
+        and not getattr(args, "trace", False)
     return Session(cache_dir=getattr(args, "cache_dir", None),
                    enabled=enabled)
 
@@ -111,7 +114,8 @@ def _profile(args: argparse.Namespace, source: str):
     session = _session_for(args)
     profiled = session.profile(
         source, _profiling_pipeline(args), abstraction=args.abstraction,
-        name=args.file, entry=args.entry, **_run_kwargs(args),
+        name=args.file, entry=args.entry, vm=args.vm,
+        trace=getattr(args, "trace", False), **_run_kwargs(args),
     )
     _maybe_print_pass_stats(args, profiled.program)
     _print_cache_stages(args, profiled.stages)
@@ -172,7 +176,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     # the compile is still cached, the VM run is live.
     base_compile = session.compile(source, "baseline", name=args.file)
     base, _ = base_compile.program.run(
-        entry=args.entry, budgets=kwargs.get("budgets"))
+        entry=args.entry, budgets=kwargs.get("budgets"), vm=args.vm)
     naive, _ = _leg(session, args, source, "naive", kwargs)
     # --passes swaps out the CARMOT leg of the comparison.
     carmot, _ = _leg(session, args, source, _profiling_pipeline(args),
@@ -189,7 +193,7 @@ def _leg(session: Session, args: argparse.Namespace, source: str,
     """One instrumented leg of the overhead comparison, profile-cached."""
     profiled = session.profile(
         source, pipeline, abstraction=args.abstraction, name=args.file,
-        entry=args.entry, **kwargs,
+        entry=args.entry, vm=args.vm, **kwargs,
     )
     _maybe_print_pass_stats(args, profiled.program)
     return profiled.result, profiled.runtime
@@ -245,7 +249,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness.bench import render_bench, run_bench
 
     report = run_bench(quick=args.quick, seed=args.seed,
-                       min_speedup=args.min_speedup, shards=args.shards)
+                       min_speedup=args.min_speedup, shards=args.shards,
+                       vm_min_speedup=args.vm_min_speedup)
     print(render_bench(report))
     if args.out != "-":
         with open(args.out, "w") as handle:
@@ -302,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "(0/1 = the deterministic single-threaded drain)",
         )
         p.add_argument(
+            "--vm", default="bytecode", choices=["bytecode", "ir"],
+            help="execution engine: the register-bytecode dispatch loop "
+                 "(default) or the IR tree-walk differential oracle; both "
+                 "produce identical profiles",
+        )
+        p.add_argument(
             "--passes", default=None, metavar="PIPELINE",
             help="explicit pass pipeline à la LLVM's -passes=, e.g. "
                  "'carmot,-pin-reduction' or 'selective-mem2reg,instrument' "
@@ -327,13 +338,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="report per-stage cache hit/miss on stderr",
         )
 
+    def tracing(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", action="store_true",
+            help="stream an execution trace to stderr — one line per "
+                 "opcode (bytecode VM) or per IR instruction (tree-walk); "
+                 "implies --no-cache (the trace only exists on a live run)",
+        )
+
     rec = sub.add_parser("recommend", help="print recommendations (default)")
     common(rec)
+    tracing(rec)
     rec.add_argument("--show-output", action="store_true")
     rec.set_defaults(func=_cmd_recommend)
 
     psec = sub.add_parser("psec", help="print the raw PSEC sets")
     common(psec)
+    tracing(psec)
     psec.set_defaults(func=_cmd_psec)
 
     over = sub.add_parser("overhead", help="baseline/naive/carmot cost")
@@ -359,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="X",
                        help="fail unless the best packed-vs-object stream "
                             "speedup reaches X (and all digests match)")
+    bench.add_argument("--vm-min-speedup", type=float, default=2.0,
+                       metavar="X",
+                       help="fail unless the bytecode VM beats the IR "
+                            "tree-walk by X on the dispatch workload "
+                            "(with byte-identical PSEC digests)")
     bench.add_argument("--out", default="BENCH_runtime.json", metavar="PATH",
                        help="write the JSON report here ('-' = stdout only)")
     bench.set_defaults(func=_cmd_bench)

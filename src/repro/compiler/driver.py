@@ -20,6 +20,7 @@ the seven-optimization sequence).  Custom pipelines — e.g. the CLI's
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
@@ -69,6 +70,9 @@ class CompiledProgram:
     build_info: Optional[CarmotBuildInfo] = None
     report: Optional[InstrumentationReport] = None
     pass_report: Optional[PassTimingReport] = None
+    #: Lowered register bytecode, when a session attached a cached (or
+    #: freshly keyed) artifact.  ``run`` lowers lazily when absent.
+    bytecode: Optional[object] = None
 
     def make_runtime(
         self,
@@ -107,25 +111,35 @@ class CompiledProgram:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         max_instructions: int = 2_000_000_000,
         budgets: Optional[ExecutionBudgets] = None,
+        vm: str = "bytecode",
+        trace: bool = False,
         **config_kwargs,
     ):
         """Run the program; instrumented modes also return the runtime.
 
-        ``budgets`` bounds the VM (steps/heap/recursion); runtime-layer
+        ``budgets`` bounds the VM (steps/heap/recursion); ``vm`` selects
+        the execution engine (``"bytecode"`` dispatch loop or the ``"ir"``
+        tree-walk oracle); ``trace`` streams a per-opcode (bytecode) or
+        per-instruction (IR walk) execution trace to stderr.  Runtime-layer
         resilience flows through ``config_kwargs`` (``resilience=...``,
         ``fault_plan=...``) into the :class:`RuntimeConfig`.
         """
+        trace_stream = sys.stderr if trace else None
         if self.mode is BuildMode.BASELINE:
             result = run_module(self.module, entry, args,
                                 cost_model=cost_model,
                                 max_instructions=max_instructions,
-                                budgets=budgets)
+                                budgets=budgets, vm=vm,
+                                bytecode=self.bytecode,
+                                trace_stream=trace_stream)
             return result, None
         runtime, hooks = self.make_runtime(cost_model, **config_kwargs)
         result = run_module(self.module, entry, args, hooks=hooks,
                             cost_model=cost_model,
                             max_instructions=max_instructions,
-                            budgets=budgets)
+                            budgets=budgets, vm=vm,
+                            bytecode=self.bytecode,
+                            trace_stream=trace_stream)
         return result, runtime
 
 

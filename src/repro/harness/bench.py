@@ -332,6 +332,116 @@ def _measure_cache(workload, warm_repeats: int = 3) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# VM dispatch: register bytecode vs IR tree-walk
+# ---------------------------------------------------------------------------
+
+#: The dispatch-dominated timing subject: a pure scalar loop whose locals
+#: all promote to registers (selective-mem2reg), so the measurement is
+#: interpreter overhead — fetch/decode/dispatch — not shared memory-model
+#: cost.  ``{iters}`` scales the trip count for quick vs full mode.
+_VM_SCALAR_SOURCE = """
+int main() {{
+    int sum = 0;
+    int i = 0;
+    int r = 1;
+    while (i < {iters}) {{
+        r = (r * 1103515245 + 12345) % 2147483647;
+        if (r < 0) {{ r = 0 - r; }}
+        sum = sum + r * 3 - sum / 7;
+        if (sum > 1000000000) {{ sum = sum % 98765; }}
+        i = i + 1;
+    }}
+    return sum % 1000;
+}}
+"""
+
+#: The equivalence subject: an annotated ROI kernel profiled under the
+#: full CARMOT build on both engines — the PSEC digests must match.
+_VM_ROI_SOURCE = """
+int main() {
+    int a[16];
+    int sum;
+    sum = 0;
+    for (int r = 0; r < 8; ++r) {
+        #pragma carmot roi abstraction(parallel_for)
+        {
+            for (int i = 0; i < 16; ++i) {
+                a[i] = a[i] + r;
+                sum = sum + a[i];
+            }
+        }
+    }
+    print_int(sum);
+    return 0;
+}
+"""
+
+
+def _measure_vm_dispatch(quick: bool, repeats: int) -> Dict[str, object]:
+    """Bytecode-vs-tree-walk timing plus the equivalence/cache gates.
+
+    Three sub-checks feed the report row: (1) min-of-N wall time on the
+    scalar loop under both engines, with RunResult equality asserted;
+    (2) byte-identical CARMOT PSEC digests across engines on the ROI
+    kernel; (3) a cold/warm session pair showing the codegen artifact is
+    reused (``codegen=hit``).
+    """
+    iters = 20_000 if quick else 60_000
+    source = _VM_SCALAR_SOURCE.format(iters=iters)
+    program = compile_baseline(source, "vm_scalar_loop")
+    times: Dict[str, float] = {}
+    results: Dict[str, object] = {}
+    for vm in ("ir", "bytecode"):
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result, _ = program.run(vm=vm)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        times[vm] = best
+        results[vm] = result
+    run_equal = all(
+        getattr(results["ir"], field) == getattr(results["bytecode"], field)
+        for field in ("output", "cost", "instructions", "access_counts")
+    )
+    instructions = results["bytecode"].instructions
+
+    digests = {}
+    for vm in ("ir", "bytecode"):
+        carmot = compile_carmot(_VM_ROI_SOURCE, name="vm_roi")
+        _, runtime = carmot.run(vm=vm)
+        digests[vm] = _digest(runtime)
+    psec_identical = digests["ir"] == digests["bytecode"]
+
+    from repro.session import Session
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-vm-") as cache:
+        session = Session(cache_dir=cache)
+        cold = session.profile(_VM_ROI_SOURCE, "carmot", name="vm_roi")
+        warm = session.profile(_VM_ROI_SOURCE, "carmot", name="vm_roi")
+    codegen_warm_hit = (cold.stages.get("codegen") == "miss"
+                       and warm.stages.get("codegen") == "hit")
+
+    return {
+        "iterations": iters,
+        "instructions": instructions,
+        "ir_s": round(times["ir"], 4),
+        "bytecode_s": round(times["bytecode"], 4),
+        "ir_ns_per_instr": round(times["ir"] * 1e9 / instructions, 1),
+        "bytecode_ns_per_instr": round(
+            times["bytecode"] * 1e9 / instructions, 1),
+        "speedup_x": round(times["ir"] / times["bytecode"], 2),
+        "run_results_equal": run_equal,
+        "psec_digest_ir": digests["ir"],
+        "psec_digest_bytecode": digests["bytecode"],
+        "psec_digest_identical": psec_identical,
+        "codegen_warm_hit": codegen_warm_hit,
+        "stages_cold": cold.stages,
+        "stages_warm": warm.stages,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -341,6 +451,7 @@ def run_bench(
     seed: int = 1234,
     min_speedup: float = 3.0,
     shards: int = 2,
+    vm_min_speedup: float = 2.0,
 ) -> Dict[str, object]:
     """Run both families and return the ``BENCH_runtime.json`` payload."""
     n_events = 20_000 if quick else 200_000
@@ -405,6 +516,14 @@ def run_bench(
         and cache_speedup >= _CACHE_MIN_SPEEDUP
     )
 
+    vm_row = _measure_vm_dispatch(quick, repeats)
+    vm_ok = bool(
+        vm_row["run_results_equal"]
+        and vm_row["psec_digest_identical"]
+        and vm_row["codegen_warm_hit"]
+        and vm_row["speedup_x"] >= vm_min_speedup
+    )
+
     checks = {
         "min_speedup": min_speedup,
         "speedup": best_speedup,
@@ -420,8 +539,14 @@ def run_bench(
             row["payload_identical"] for row in cache_rows
         ),
         "cache_ok": cache_ok,
+        "vm_min_speedup": vm_min_speedup,
+        "vm_speedup": vm_row["speedup_x"],
+        "vm_psec_digest_identical": vm_row["psec_digest_identical"],
+        "vm_codegen_warm_hit": vm_row["codegen_warm_hit"],
+        "vm_ok": vm_ok,
         "passed": bool(
             digests_match and best_speedup >= min_speedup and cache_ok
+            and vm_ok
         ),
     }
     return {
@@ -435,6 +560,7 @@ def run_bench(
         "event_streams": streams,
         "workloads": workload_rows,
         "cache": cache_rows,
+        "vm_dispatch": vm_row,
         "checks": checks,
     }
 
@@ -483,6 +609,20 @@ def render_bench(report: Dict[str, object]) -> str:
         ["workload", "cold_s", "warm_s", "speedup_x", "identical"],
         crows,
     ))
+    vm = report["vm_dispatch"]
+    lines.append("")
+    lines.append(render_table(
+        f"VM dispatch ({vm['instructions']:,} instructions, scalar loop)",
+        ["engine", "wall_s", "ns/instr"],
+        [("ir tree-walk", vm["ir_s"], vm["ir_ns_per_instr"]),
+         ("bytecode", vm["bytecode_s"], vm["bytecode_ns_per_instr"])],
+    ))
+    lines.append(
+        f"vm_dispatch: bytecode vs tree-walk speedup {vm['speedup_x']:.2f}x "
+        f"(PSEC digests "
+        f"{'match' if vm['psec_digest_identical'] else 'DIVERGE'}, "
+        f"codegen warm hit={'yes' if vm['codegen_warm_hit'] else 'NO'})"
+    )
     checks = report["checks"]
     verdict = "PASS" if checks["passed"] else "FAIL"
     lines.append("")
@@ -492,6 +632,8 @@ def render_bench(report: Dict[str, object]) -> str:
         f"required, digests_match={checks['digests_match']}, "
         f"cache {checks['cache_speedup']:.2f}x >= "
         f"{checks['cache_min_speedup']:.2f}x warm/cold, "
-        f"cache_payload_identical={checks['cache_payload_identical']})"
+        f"cache_payload_identical={checks['cache_payload_identical']}, "
+        f"vm {checks['vm_speedup']:.2f}x >= "
+        f"{checks['vm_min_speedup']:.2f}x bytecode/tree-walk)"
     )
     return "\n".join(lines)

@@ -942,7 +942,17 @@ class CarmotRuntime:
 
 
 class CarmotHooks(ExecutionHooks):
-    """VM hook adapter: records events, charges main-thread costs."""
+    """VM hook adapter: records events, charges main-thread costs.
+
+    Both execution engines — the IR tree-walk and the register-bytecode
+    dispatch loop — drive this same adapter, and the contract is shared:
+    before any hook fires, the engine must have spilled its live
+    instruction/cost counters into ``self.vm`` (this adapter reads
+    ``vm.cost``, and helpers read ``vm.memory`` / ``vm.call_stack``),
+    and hooks may mutate ``vm.cost``, which the engine reloads after the
+    call.  Identical hook sequences with identical arguments are what
+    make the two engines' profiles byte-for-byte equal.
+    """
 
     def __init__(
         self,

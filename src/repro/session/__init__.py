@@ -7,6 +7,7 @@ matrix (also documented in DESIGN.md §9).
 """
 
 from repro.session.keys import (
+    codegen_key,
     environment_fingerprint,
     frontend_key,
     pipeline_key,
@@ -35,6 +36,7 @@ __all__ = [
     "STAGES",
     "Session",
     "StoreStats",
+    "codegen_key",
     "environment_fingerprint",
     "frontend_key",
     "pipeline_key",

@@ -34,6 +34,7 @@ from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence
 
 from repro._version import (
+    BYTECODE_SCHEMA_VERSION,
     IR_SCHEMA_VERSION,
     PROFILE_SCHEMA_VERSION,
     STORE_VERSION,
@@ -47,6 +48,7 @@ def environment_fingerprint() -> Dict[str, object]:
         "python": f"{sys.version_info.major}.{sys.version_info.minor}",
         "ir_schema": IR_SCHEMA_VERSION,
         "profile_schema": PROFILE_SCHEMA_VERSION,
+        "bytecode_schema": BYTECODE_SCHEMA_VERSION,
         "store": STORE_VERSION,
     }
 
@@ -84,6 +86,18 @@ def pipeline_key(
     })
 
 
+def codegen_key(ir_digest: str) -> str:
+    """Key of the bytecode-lowering stage output (the register bytecode).
+
+    Keyed on the post-pipeline IR *content* digest alone: lowering is a
+    pure function of the module, so any pipeline producing identical IR
+    shares one bytecode artifact.  The environment fingerprint carries
+    :data:`~repro._version.BYTECODE_SCHEMA_VERSION`, so an opcode-layout
+    change orphans old entries instead of misreading them.
+    """
+    return _digest("codegen", {"ir": ir_digest})
+
+
 def profile_key(
     ir_digest: str,
     mode: str,
@@ -113,13 +127,17 @@ def run_config_doc(
     abstraction: Optional[str],
     options,
     config_kwargs: Dict[str, object],
+    vm: str = "bytecode",
 ) -> Dict[str, object]:
     """Canonical, JSON-able view of one ``CompiledProgram.run()`` call.
 
     ``config_kwargs`` are the ``RuntimeConfig`` overrides the CLI passes
     (``event_encoding``, ``batch_size``, ``pipeline_shards``,
     ``resilience``, ``fault_plan``); dataclass values are flattened via
-    ``asdict`` so two equal plans produce equal documents.
+    ``asdict`` so two equal plans produce equal documents.  ``vm`` names
+    the execution engine — both engines are held to identical profiles,
+    but keying on it keeps any divergence visible as a cache miss rather
+    than silently serving one engine's artifact for the other.
     """
     config: Dict[str, object] = {}
     for key in sorted(config_kwargs):
@@ -133,6 +151,7 @@ def run_config_doc(
         "abstraction": abstraction,
         "options": _jsonable(options),
         "config": config,
+        "vm": vm,
     }
 
 

@@ -10,6 +10,10 @@ stages backed by the content-addressed :class:`ArtifactStore`:
     pass pipeline + instrumentation → the runnable module, keyed on the
     frontend artifact digest, the parsed pass list, options, and the
     registry fingerprint;
+``codegen``
+    bytecode lowering → the register bytecode the dispatch-loop VM
+    executes, keyed on the post-pipeline IR digest alone (skipped when
+    profiling with ``vm="ir"``);
 ``profile``
     execute + characterize → the full profile (PSECs, ASMT, degradation,
     run result), keyed on the post-pipeline IR digest and the complete
@@ -56,12 +60,19 @@ from repro.runtime.psec_json import (
 )
 from repro.session import keys
 from repro.session.store import ArtifactStore
+from repro.vm.bytecode import (
+    BytecodeSerializeError,
+    deserialize_bytecode,
+    serialize_bytecode,
+)
+from repro.vm.codegen import lower_module
 from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
 
 #: Stage names, in flow order (parse/lower share the frontend artifact,
-#: pass-pipeline/instrument share the pipeline artifact, and
-#: execute/characterize share the profile artifact).
-STAGES = ("frontend", "pipeline", "profile")
+#: pass-pipeline/instrument share the pipeline artifact, lowering owns
+#: the bytecode artifact, and execute/characterize share the profile
+#: artifact).
+STAGES = ("frontend", "pipeline", "codegen", "profile")
 
 
 @dataclass
@@ -196,6 +207,38 @@ class Session:
             stages={"frontend": frontend_stage, "pipeline": pipeline_stage},
         )
 
+    # -- stage: bytecode lowering --------------------------------------------
+
+    def codegen(self, program: CompiledProgram, ir_digest: str) -> str:
+        """Lower (cached) the program to register bytecode.
+
+        Attaches the bytecode to ``program.bytecode`` and returns
+        ``"hit"`` or ``"miss"``.  Cold and warm paths both normalize
+        through the serialized artifact, then rebind the variable table
+        against the program's own IR module — the engine keys access
+        sites by ``VarInfo`` identity, so the bytecode must share the
+        module's instances, not deserialized clones.
+        """
+        key = keys.codegen_key(ir_digest)
+        payload = self.store.get(key) if self.store else None
+        if payload is not None:
+            try:
+                bytecode = deserialize_bytecode(payload)
+            except BytecodeSerializeError:
+                payload = None
+            else:
+                bytecode.rebind_vars(program.module)
+                program.bytecode = bytecode
+                return "hit"
+        payload = serialize_bytecode(lower_module(program.module))
+        if self.store is not None:
+            self.store.put(key, payload, "bytecode")
+        # Normalize through the artifact (see module docstring).
+        bytecode = deserialize_bytecode(payload)
+        bytecode.rebind_vars(program.module)
+        program.bytecode = bytecode
+        return "miss"
+
     # -- stage: execute + characterize --------------------------------------
 
     def profile(
@@ -210,12 +253,16 @@ class Session:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         max_instructions: int = 2_000_000_000,
         budgets: Optional[ExecutionBudgets] = None,
+        vm: str = "bytecode",
+        trace: bool = False,
         **config_kwargs,
     ) -> ProfileResult:
         """Compile (cached) and profile (cached): the full flow.
 
         On a profile hit the VM never executes — result, PSECs, ASMT and
-        degradation report all load from the artifact.
+        degradation report all load from the artifact.  ``vm`` selects
+        the execution engine; the codegen stage only runs (and only
+        appears in ``stages``) for the bytecode engine.
         """
         compile_result = self.compile(
             source, pipeline, abstraction=abstraction, options=options,
@@ -226,14 +273,18 @@ class Session:
             raise ReproError(
                 "cannot profile an uninstrumented (baseline) build"
             )
+        stages = dict(compile_result.stages)
+        if vm == "bytecode":
+            stages["codegen"] = self.codegen(
+                program, compile_result.ir_digest
+            )
         run_doc = keys.run_config_doc(
             entry, args, cost_model, max_instructions, budgets,
-            abstraction, options, config_kwargs,
+            abstraction, options, config_kwargs, vm=vm,
         )
         key = keys.profile_key(
             compile_result.ir_digest, program.mode.value, run_doc
         )
-        stages = dict(compile_result.stages)
         payload = self.store.get(key) if self.store else None
         if payload is not None:
             try:
@@ -248,7 +299,7 @@ class Session:
         result, runtime = program.run(
             entry=entry, args=args, cost_model=cost_model,
             max_instructions=max_instructions, budgets=budgets,
-            **config_kwargs,
+            vm=vm, trace=trace, **config_kwargs,
         )
         payload = serialize_profile(runtime, result)
         if self.store is not None:

@@ -1,17 +1,44 @@
-"""MiniC virtual machine: memory model, interpreter, cost model, hooks."""
+"""MiniC virtual machine: memory model, execution engines, cost model.
 
+Two engines execute verified IR behind one ``run_module`` entry point:
+the register-bytecode dispatch loop (:mod:`repro.vm.bcinterp`, lowered
+by :mod:`repro.vm.codegen`) and the IR tree-walk
+(:mod:`repro.vm.interpreter`), which serves as the differential oracle.
+Both are held to identical results, costs, and profiles.
+"""
+
+from repro.vm.bcinterp import BytecodeInterpreter
+from repro.vm.bytecode import (
+    BytecodeError,
+    BytecodeFunction,
+    BytecodeModule,
+    BytecodeSerializeError,
+    bytecode_digest,
+    deserialize_bytecode,
+    serialize_bytecode,
+)
+from repro.vm.codegen import lower_module
 from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.vm.hooks import ExecutionHooks
 from repro.vm.interpreter import Interpreter, RunResult, run_module
 from repro.vm.memory import Memory, MemoryObject
 
 __all__ = [
+    "BytecodeError",
+    "BytecodeFunction",
+    "BytecodeInterpreter",
+    "BytecodeModule",
+    "BytecodeSerializeError",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "ExecutionHooks",
     "Interpreter",
     "RunResult",
+    "bytecode_digest",
+    "deserialize_bytecode",
+    "lower_module",
     "run_module",
+    "serialize_bytecode",
     "Memory",
     "MemoryObject",
 ]

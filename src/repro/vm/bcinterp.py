@@ -1,0 +1,775 @@
+"""The bytecode dispatch engine.
+
+Executes a lowered :class:`~repro.vm.bytecode.BytecodeModule` with a flat
+while-loop over the ``array('q')`` code stream: integer opcodes, operand
+slots into a per-frame register list, and pre-resolved branch/call targets.
+Exactly the same observable semantics as the tree-walk
+:class:`~repro.vm.interpreter.Interpreter` — same cost model charges, same
+instruction counting (and therefore identical ``BudgetExceeded`` trip
+points), same :class:`~repro.vm.hooks.ExecutionHooks` call sequence with
+the same arguments, same trap messages — just without per-step object
+inspection.  ``tests/property/test_vm_equivalence.py`` holds the two
+engines equal instruction-for-instruction.
+
+Hot-loop discipline: ``instructions``/``cost`` live in locals and are
+spilled to the interpreter attributes
+
+- before every hook invocation (hooks read ``vm.instructions`` as event
+  time and may read ``vm.cost``),
+- around builtin calls (builtin impls *mutate* ``vm.cost`` through
+  ``charge_bytes``/``heap_alloc``, so the local is reloaded after), and
+- unconditionally in a ``finally`` so trap/budget exits leave the same
+  state the tree-walk leaves.
+
+``memory.clock`` is only ever read inside ``allocate``/``free``/
+``release_stack_object``, so instead of the tree-walk's per-step store it
+is refreshed exactly at the opcodes that can reach those: ``OP_ALLOCA``,
+``OP_RET``, and the builtin-call opcodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.builtins_spec import BUILTINS
+from repro.errors import BudgetExceeded, TrapError, VMError
+from repro.resilience.budgets import ExecutionBudgets
+from repro.lang import types as ct
+from repro.ir.instructions import AccessKind
+from repro.vm.builtins import BUILTIN_IMPLS, Xorshift64
+from repro.vm.bytecode import (
+    BytecodeFunction,
+    BytecodeModule,
+    OPCODE_NAMES,
+    OP_ADD,
+    OP_ADDR,
+    OP_ALLOCA,
+    OP_AND,
+    OP_BR,
+    OP_CALL,
+    OP_CALL_BUILTIN,
+    OP_CALL_IND,
+    OP_CALL_MISSING,
+    OP_CAST,
+    OP_DIV,
+    OP_EQ,
+    OP_GE,
+    OP_GT,
+    OP_JUMP,
+    OP_LE,
+    OP_LOAD,
+    OP_LT,
+    OP_MUL,
+    OP_NE,
+    OP_OMP_BARRIER,
+    OP_OMP_BEGIN,
+    OP_OMP_END,
+    OP_OR,
+    OP_PHI,
+    OP_PROBE_ACCESS,
+    OP_PROBE_CLASSIFY,
+    OP_PROBE_ESCAPE,
+    OP_REM,
+    OP_RET,
+    OP_ROI_BEGIN,
+    OP_ROI_END,
+    OP_ROI_RESET,
+    OP_SHL,
+    OP_SHR,
+    OP_STORE,
+    OP_SUB,
+    OP_XOR,
+    TY_CHAR,
+    TY_FLOAT,
+)
+from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.vm.hooks import ExecutionHooks
+from repro.vm.interpreter import RunResult
+from repro.vm.memory import FUNC_PTR_BASE, Memory, MemoryObject
+
+
+class BytecodeInterpreter:
+    """Executes one bytecode module.  Create a fresh engine per run."""
+
+    def __init__(
+        self,
+        bytecode: BytecodeModule,
+        hooks: Optional[ExecutionHooks] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        max_instructions: int = 2_000_000_000,
+        budgets: Optional[ExecutionBudgets] = None,
+        trace_stream=None,
+    ) -> None:
+        self.bytecode = bytecode
+        self.hooks = hooks or ExecutionHooks()
+        self.cost_model = cost_model
+        self.max_instructions = max_instructions
+        self.budgets = budgets
+        self.max_recursion_depth = 0
+        self.memory = Memory()
+        if budgets is not None:
+            if budgets.max_steps:
+                self.max_instructions = budgets.max_steps
+            self.max_recursion_depth = budgets.max_recursion_depth
+            self.memory.heap_limit = budgets.max_heap_bytes
+        self.rng = Xorshift64()
+        self.output: List[str] = []
+        self.cost = 0
+        self.instructions = 0
+        self.access_counts = {"var": 0, "mem": 0}
+        self.call_stack: List[str] = []
+        self.roi_depth = 0
+        self._pin_active = False
+        self._return_value: object = None
+        #: Allocation-site loc for builtins that heap-allocate, baked into
+        #: the call opcode (mirrors the tree-walk's ``_current_loc``).
+        self._alloc_loc = None
+        self.trace_stream = trace_stream
+        #: Parity attribute; per-line cost attribution is an IR-walk-only
+        #: feature (the Figure 6 profiler drives the tree-walk directly).
+        self.line_costs = {}
+        self._globals_addr = {}
+        setattr(self.hooks, "vm", self)
+        self._link()
+
+    # -- setup -------------------------------------------------------------
+
+    def _init_globals(self) -> None:
+        for gvar in self.bytecode.globals:
+            var = (self.bytecode.var_table[gvar.var_index]
+                   if gvar.var_index >= 0 else None)
+            obj = self.memory.allocate(
+                gvar.size, "global", var=var, callstack=("<static>",)
+            )
+            self._globals_addr[gvar.name] = obj.base
+            if gvar.init_kind == "str":
+                payload = gvar.init.encode("utf-8") + b"\0"
+                self.memory.write_bytes(obj.base, payload)
+            elif gvar.init_kind == "float":
+                self.memory.write_scalar(obj.base, float(gvar.init), ct.FLOAT)
+            elif gvar.init_kind == "int":
+                self.memory.write_scalar(obj.base, int(gvar.init), ct.INT)
+
+    def _link(self) -> None:
+        """Allocate globals for this run and (once per module) resolve
+        const pools, call targets, and function addresses.
+
+        Global and function addresses are bump-allocated deterministically
+        from the module's own tables, so the resolved frame prototypes and
+        address maps are cached on the :class:`BytecodeModule` and shared
+        by every interpreter over it.
+        """
+        bc = self.bytecode
+        self._init_globals()
+        if bc._linked is None:
+            func_addrs = {}
+            funcs_by_addr = {}
+            names = list(bc.function_order) + list(bc.builtin_order)
+            for index, name in enumerate(names):
+                addr = FUNC_PTR_BASE + index
+                func_addrs[name] = addr
+                funcs_by_addr[addr] = name
+            linked_builtins = []
+            for name in bc.builtin_order:
+                spec = BUILTINS.get(name)
+                impl = BUILTIN_IMPLS.get(name)
+                if spec is None or impl is None:
+                    raise VMError(
+                        f"bytecode references unknown builtin {name!r}")
+                linked_builtins.append((name, impl, spec.base_cost))
+            # Indirect-call resolution mirrors the tree-walk: address ->
+            # name, then builtins shadow module functions of the same name.
+            addr_targets = {}
+            for addr, name in funcs_by_addr.items():
+                if name in BUILTINS:
+                    addr_targets[addr] = (
+                        True,
+                        (name, BUILTIN_IMPLS[name], BUILTINS[name].base_cost),
+                    )
+                else:
+                    addr_targets[addr] = (False, bc.functions[name])
+            for name in bc.function_order:
+                fn = bc.functions[name]
+                resolved: List[object] = []
+                for tag, payload in fn.consts:
+                    if tag == "v":
+                        resolved.append(payload)
+                    elif tag == "g":
+                        addr = self._globals_addr.get(payload)
+                        if addr is None:
+                            raise VMError(
+                                f"bytecode references undefined global "
+                                f"{payload!r}")
+                        resolved.append(addr)
+                    else:
+                        addr = func_addrs.get(payload)
+                        if addr is None:
+                            raise VMError(
+                                f"bytecode references undefined function "
+                                f"{payload!r}")
+                        resolved.append(addr)
+                fn.proto = resolved + [None] * (fn.n_regs - len(resolved))
+            bc._linked = (func_addrs, funcs_by_addr, linked_builtins,
+                          addr_targets)
+        (self._func_addrs, self._funcs_by_addr, self._linked_builtins,
+         self._addr_targets) = bc._linked
+        self._linked_functions = [bc.functions[name]
+                                  for name in bc.function_order]
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Tuple = ()) -> RunResult:
+        fn = self.bytecode.functions.get(entry)
+        if fn is None:
+            raise VMError(f"no function named {entry!r}")
+        regs = fn.proto.copy()
+        arg_base = fn.arg_base
+        for index, value in enumerate(args):
+            if index < fn.n_args:
+                regs[arg_base + index] = value
+        self.call_stack.append(entry)
+        self._execute(fn, regs)
+        self.hooks.finish()
+        return RunResult(
+            return_value=self._return_value,
+            cost=self.cost,
+            baseline_cost=self.cost,  # overwritten by harnesses that know it
+            instructions=self.instructions,
+            output=self.output,
+            access_counts=dict(self.access_counts),
+            leaked_bytes=self.memory.leaked_bytes,
+        )
+
+    # -- helpers used by builtins ------------------------------------------
+
+    def heap_alloc(self, size: int) -> MemoryObject:
+        obj = self.memory.allocate(
+            size, "heap", callstack=tuple(self.call_stack),
+            loc=self._alloc_loc,
+        )
+        self.cost += self.hooks.on_alloc(obj)
+        return obj
+
+    def heap_free(self, addr: int) -> None:
+        if addr == 0:
+            return
+        obj = self.memory.free(addr)
+        self.cost += self.hooks.on_free(obj)
+
+    def native_read(self, addr: int, size: int) -> bytes:
+        if self._pin_active and size > 0:
+            self.cost += self.hooks.on_pin_access(AccessKind.READ, addr, size)
+        return self.memory.read_bytes(addr, size)
+
+    def native_write(self, addr: int, payload: bytes) -> None:
+        if self._pin_active and payload:
+            self.cost += self.hooks.on_pin_access(
+                AccessKind.WRITE, addr, len(payload)
+            )
+        self.memory.write_bytes(addr, payload)
+
+    def charge_bytes(self, count: int) -> None:
+        self.cost += int(count * self.cost_model.builtin_per_byte)
+
+    def reseed(self, seed: int) -> None:
+        self.rng = Xorshift64(seed or 1)
+
+    def _current_loc(self):
+        return self._alloc_loc
+
+    # -- main loop ---------------------------------------------------------
+
+    def _execute(self, fn: BytecodeFunction, regs: list) -> None:
+        memory = self.memory
+        hooks = self.hooks
+        cm = self.cost_model
+        call_stack = self.call_stack
+        read_scalar = memory.read_scalar
+        write_scalar = memory.write_scalar
+        max_instructions = self.max_instructions
+        max_depth = self.max_recursion_depth
+        bc = self.bytecode
+        loc_table = bc.loc_table
+        var_table = bc.var_table
+        str_table = bc.string_table
+        linked_fns = self._linked_functions
+        linked_builtins = self._linked_builtins
+        addr_targets = self._addr_targets
+        trace = self.trace_stream
+        arith = cm.arith
+        load_cost = cm.load
+        store_cost = cm.store
+        addr_cost = cm.addr
+        branch_cost = cm.branch
+        cast_cost = cm.cast
+        call_cost = cm.call
+        ret_cost = cm.ret
+        alloca_cost = cm.alloca
+        roi_cost = cm.roi_marker
+        ty_objs = (ct.INT, ct.FLOAT, ct.CHAR)  # indexed by TY_* codes
+        kind_objs = (AccessKind.READ, AccessKind.WRITE)
+        code = fn.code
+        pc = fn.entry_pc
+        cs = tuple(call_stack)
+        frames: List[tuple] = []  # suspended callers
+        stack_objects: List[MemoryObject] = []
+        ic = self.instructions
+        cost = self.cost
+        var_accesses = 0
+        mem_accesses = 0
+        try:
+            while True:
+                op = code[pc]
+                ic += 1
+                if ic > max_instructions:
+                    raise BudgetExceeded("instruction budget exceeded")
+                if trace is not None:
+                    print(f"trace: [{ic}] {fn.name}+{pc} {OPCODE_NAMES[op]}",
+                          file=trace)
+                # Three-way dispatch tree, hot paths shallow: arithmetic
+                # first (all binops share the high opcode range), then the
+                # memory/control group, then calls/probes/markers.
+                if op >= OP_ADD:
+                    if op == OP_ADD:
+                        regs[code[pc + 1]] = (
+                            regs[code[pc + 2]] + regs[code[pc + 3]])
+                        cost += arith
+                        pc += 4
+                    elif op == OP_SUB:
+                        regs[code[pc + 1]] = (
+                            regs[code[pc + 2]] - regs[code[pc + 3]])
+                        cost += arith
+                        pc += 4
+                    elif op == OP_MUL:
+                        regs[code[pc + 1]] = (
+                            regs[code[pc + 2]] * regs[code[pc + 3]])
+                        cost += arith
+                        pc += 4
+                    elif op == OP_LT:
+                        regs[code[pc + 1]] = (
+                            1 if regs[code[pc + 2]] < regs[code[pc + 3]]
+                            else 0)
+                        cost += arith
+                        pc += 4
+                    elif op == OP_DIV:
+                        lhs = regs[code[pc + 2]]
+                        rhs = regs[code[pc + 3]]
+                        if rhs == 0:
+                            loc_index = code[pc + 4]
+                            loc = (loc_table[loc_index]
+                                   if loc_index >= 0 else None)
+                            raise TrapError(f"division by zero at {loc}")
+                        if isinstance(lhs, float) or isinstance(rhs, float):
+                            result = lhs / rhs
+                        else:
+                            result = abs(lhs) // abs(rhs)
+                            if (lhs < 0) != (rhs < 0):
+                                result = -result
+                        regs[code[pc + 1]] = result
+                        cost += arith
+                        pc += 5
+                    elif op == OP_LE:
+                        regs[code[pc + 1]] = (
+                            1 if regs[code[pc + 2]] <= regs[code[pc + 3]]
+                            else 0)
+                        cost += arith
+                        pc += 4
+                    elif op == OP_GT:
+                        regs[code[pc + 1]] = (
+                            1 if regs[code[pc + 2]] > regs[code[pc + 3]]
+                            else 0)
+                        cost += arith
+                        pc += 4
+                    elif op == OP_GE:
+                        regs[code[pc + 1]] = (
+                            1 if regs[code[pc + 2]] >= regs[code[pc + 3]]
+                            else 0)
+                        cost += arith
+                        pc += 4
+                    elif op == OP_EQ:
+                        regs[code[pc + 1]] = (
+                            1 if regs[code[pc + 2]] == regs[code[pc + 3]]
+                            else 0)
+                        cost += arith
+                        pc += 4
+                    elif op == OP_NE:
+                        regs[code[pc + 1]] = (
+                            1 if regs[code[pc + 2]] != regs[code[pc + 3]]
+                            else 0)
+                        cost += arith
+                        pc += 4
+                    elif op == OP_REM:
+                        lhs = regs[code[pc + 2]]
+                        rhs = regs[code[pc + 3]]
+                        if rhs == 0:
+                            loc_index = code[pc + 4]
+                            loc = (loc_table[loc_index]
+                                   if loc_index >= 0 else None)
+                            raise TrapError(f"modulo by zero at {loc}")
+                        quotient = abs(lhs) // abs(rhs)
+                        if (lhs < 0) != (rhs < 0):
+                            quotient = -quotient
+                        regs[code[pc + 1]] = lhs - quotient * rhs
+                        cost += arith
+                        pc += 5
+                    elif op == OP_AND:
+                        regs[code[pc + 1]] = (
+                            int(regs[code[pc + 2]]) & int(regs[code[pc + 3]]))
+                        cost += arith
+                        pc += 4
+                    elif op == OP_OR:
+                        regs[code[pc + 1]] = (
+                            int(regs[code[pc + 2]]) | int(regs[code[pc + 3]]))
+                        cost += arith
+                        pc += 4
+                    elif op == OP_XOR:
+                        regs[code[pc + 1]] = (
+                            int(regs[code[pc + 2]]) ^ int(regs[code[pc + 3]]))
+                        cost += arith
+                        pc += 4
+                    elif op == OP_SHL:
+                        regs[code[pc + 1]] = (
+                            int(regs[code[pc + 2]])
+                            << (int(regs[code[pc + 3]]) & 63))
+                        cost += arith
+                        pc += 4
+                    elif op == OP_SHR:
+                        regs[code[pc + 1]] = (
+                            int(regs[code[pc + 2]])
+                            >> (int(regs[code[pc + 3]]) & 63))
+                        cost += arith
+                        pc += 4
+                    else:
+                        raise VMError(f"unknown opcode {op} at {fn.name}+{pc}")
+                elif op <= OP_PHI:
+                    if op == OP_LOAD:
+                        addr = int(regs[code[pc + 2]])
+                        regs[code[pc + 1]] = read_scalar(
+                            addr, ty_objs[code[pc + 3]])
+                        if code[pc + 4]:
+                            var_accesses += 1
+                        else:
+                            mem_accesses += 1
+                        cost += load_cost
+                        pc += 5
+                    elif op == OP_STORE:
+                        addr = int(regs[code[pc + 2]])
+                        write_scalar(addr, regs[code[pc + 1]],
+                                     ty_objs[code[pc + 3]])
+                        if code[pc + 4]:
+                            var_accesses += 1
+                        else:
+                            mem_accesses += 1
+                        cost += store_cost
+                        pc += 5
+                    elif op == OP_BR:
+                        pc = code[pc + 2] if regs[code[pc + 1]] != 0 \
+                            else code[pc + 3]
+                        cost += branch_cost
+                    elif op == OP_JUMP:
+                        pc = code[pc + 1]
+                        cost += branch_cost
+                    elif op == OP_PHI:
+                        # Per-edge trampoline: read every incoming against
+                        # the predecessor's values, then write all results
+                        # (the tree-walk's atomic phi run), then enter the
+                        # successor body.
+                        k = code[pc + 1]
+                        base = pc + 3
+                        if k == 1:
+                            regs[code[base + 1]] = regs[code[base]]
+                        elif k == 2:
+                            v0 = regs[code[base]]
+                            v1 = regs[code[base + 2]]
+                            regs[code[base + 1]] = v0
+                            regs[code[base + 3]] = v1
+                        elif k == 3:
+                            v0 = regs[code[base]]
+                            v1 = regs[code[base + 2]]
+                            v2 = regs[code[base + 4]]
+                            regs[code[base + 1]] = v0
+                            regs[code[base + 3]] = v1
+                            regs[code[base + 5]] = v2
+                        else:
+                            values = [regs[code[base + 2 * i]]
+                                      for i in range(k)]
+                            for i in range(k):
+                                regs[code[base + 2 * i + 1]] = values[i]
+                        ic += k - 1
+                        cost += arith * k
+                        pc = code[pc + 2]
+                    elif op == OP_ADDR:
+                        regs[code[pc + 1]] = (
+                            int(regs[code[pc + 2]])
+                            + int(regs[code[pc + 3]]) * code[pc + 4]
+                            + code[pc + 5]
+                        )
+                        cost += addr_cost
+                        pc += 6
+                    else:
+                        raise VMError(f"unknown opcode {op} at {fn.name}+{pc}")
+                elif op == OP_CAST:
+                    value = regs[code[pc + 2]]
+                    to = code[pc + 3]
+                    if to == TY_FLOAT:
+                        regs[code[pc + 1]] = float(value)
+                    elif to == TY_CHAR:
+                        regs[code[pc + 1]] = int(value) & 0xFF
+                    else:
+                        regs[code[pc + 1]] = int(value)
+                    cost += cast_cost
+                    pc += 4
+                elif op == OP_ALLOCA:
+                    memory.clock = ic
+                    var_index = code[pc + 3]
+                    var = var_table[var_index] if var_index >= 0 else None
+                    loc_index = code[pc + 4]
+                    obj = memory.allocate(
+                        code[pc + 2], "stack", var=var,
+                        loc=loc_table[loc_index] if loc_index >= 0 else None,
+                        callstack=cs,
+                    )
+                    stack_objects.append(obj)
+                    regs[code[pc + 1]] = obj.base
+                    cost += alloca_cost
+                    if var is not None:
+                        self.instructions = ic
+                        self.cost = cost
+                        cost += hooks.on_alloc(obj)
+                    pc += 5
+                elif op == OP_CALL:
+                    callee = linked_fns[code[pc + 1]]
+                    argc = code[pc + 4]
+                    base = pc + 5
+                    args = [regs[code[base + i]] for i in range(argc)]
+                    cost += call_cost
+                    if code[pc + 3] and hooks.wants_pin():
+                        # A conservatively-gated call toggles the Pintool
+                        # even though the target turns out to be
+                        # instrumented code (§4.4.6).
+                        self.instructions = ic
+                        self.cost = cost
+                        cost += hooks.on_pin_attach()
+                    if max_depth and len(frames) + 1 >= max_depth:
+                        raise BudgetExceeded(
+                            f"recursion depth budget exceeded "
+                            f"({max_depth} frames) calling {callee.name!r}"
+                        )
+                    frames.append((fn, regs, base + argc, code[pc + 2],
+                                   stack_objects, cs))
+                    fn = callee
+                    code = fn.code
+                    new_regs = fn.proto.copy()
+                    arg_base = fn.arg_base
+                    n_args = fn.n_args
+                    for i in range(argc if argc < n_args else n_args):
+                        new_regs[arg_base + i] = args[i]
+                    regs = new_regs
+                    stack_objects = []
+                    pc = fn.entry_pc
+                    call_stack.append(fn.name)
+                    cs = cs + (fn.name,)
+                    self.instructions = ic
+                    self.cost = cost
+                    cost += hooks.on_call_enter(fn.name, fn.instrumented)
+                elif op == OP_CALL_BUILTIN:
+                    name, impl, base_cost = linked_builtins[code[pc + 1]]
+                    argc = code[pc + 5]
+                    base = pc + 6
+                    args = [regs[code[base + i]] for i in range(argc)]
+                    cost += call_cost
+                    loc_index = code[pc + 4]
+                    self._alloc_loc = (loc_table[loc_index]
+                                       if loc_index >= 0 else None)
+                    memory.clock = ic
+                    self.instructions = ic
+                    if code[pc + 3] and hooks.wants_pin():
+                        self.cost = cost
+                        cost += hooks.on_pin_attach()
+                        self._pin_active = True
+                    self.cost = cost
+                    try:
+                        result = impl(self, args)
+                    finally:
+                        self._pin_active = False
+                        cost = self.cost
+                    cost += base_cost
+                    dst = code[pc + 2]
+                    if dst >= 0:
+                        regs[dst] = result
+                    pc = base + argc
+                elif op == OP_CALL_IND:
+                    addr = int(regs[code[pc + 1]])
+                    target = addr_targets.get(addr)
+                    if target is None:
+                        raise TrapError(
+                            f"call through bad function pointer {addr:#x}")
+                    argc = code[pc + 5]
+                    base = pc + 6
+                    args = [regs[code[base + i]] for i in range(argc)]
+                    cost += call_cost
+                    is_builtin, payload = target
+                    if is_builtin:
+                        name, impl, base_cost = payload
+                        loc_index = code[pc + 4]
+                        self._alloc_loc = (loc_table[loc_index]
+                                           if loc_index >= 0 else None)
+                        memory.clock = ic
+                        self.instructions = ic
+                        if code[pc + 3] and hooks.wants_pin():
+                            self.cost = cost
+                            cost += hooks.on_pin_attach()
+                            self._pin_active = True
+                        self.cost = cost
+                        try:
+                            result = impl(self, args)
+                        finally:
+                            self._pin_active = False
+                            cost = self.cost
+                        cost += base_cost
+                        dst = code[pc + 2]
+                        if dst >= 0:
+                            regs[dst] = result
+                        pc = base + argc
+                    else:
+                        callee = payload
+                        if code[pc + 3] and hooks.wants_pin():
+                            self.instructions = ic
+                            self.cost = cost
+                            cost += hooks.on_pin_attach()
+                        if max_depth and len(frames) + 1 >= max_depth:
+                            raise BudgetExceeded(
+                                f"recursion depth budget exceeded "
+                                f"({max_depth} frames) calling "
+                                f"{callee.name!r}"
+                            )
+                        frames.append((fn, regs, base + argc, code[pc + 2],
+                                       stack_objects, cs))
+                        fn = callee
+                        code = fn.code
+                        new_regs = fn.proto.copy()
+                        arg_base = fn.arg_base
+                        n_args = fn.n_args
+                        for i in range(argc if argc < n_args else n_args):
+                            new_regs[arg_base + i] = args[i]
+                        regs = new_regs
+                        stack_objects = []
+                        pc = fn.entry_pc
+                        call_stack.append(fn.name)
+                        cs = cs + (fn.name,)
+                        self.instructions = ic
+                        self.cost = cost
+                        cost += hooks.on_call_enter(fn.name, fn.instrumented)
+                elif op == OP_CALL_MISSING:
+                    cost += call_cost
+                    raise TrapError(
+                        f"call to undefined function "
+                        f"{str_table[code[pc + 1]]!r}"
+                    )
+                elif op == OP_RET:
+                    memory.clock = ic
+                    value_slot = code[pc + 1]
+                    value = regs[value_slot] if value_slot >= 0 else None
+                    for obj in stack_objects:
+                        memory.release_stack_object(obj)
+                    call_stack.pop()
+                    cost += ret_cost
+                    if frames:
+                        self.instructions = ic
+                        self.cost = cost
+                        cost += hooks.on_call_exit(fn.name)
+                        fn, regs, pc, dst, stack_objects, cs = frames.pop()
+                        code = fn.code
+                        if dst >= 0:
+                            regs[dst] = value
+                    else:
+                        self._return_value = value
+                        return
+                elif op == OP_ROI_BEGIN:
+                    self.roi_depth += 1
+                    self.instructions = ic
+                    self.cost = cost
+                    cost += roi_cost + hooks.on_roi_begin(code[pc + 1])
+                    pc += 2
+                elif op == OP_ROI_END:
+                    self.roi_depth -= 1
+                    self.instructions = ic
+                    self.cost = cost
+                    cost += roi_cost + hooks.on_roi_end(code[pc + 1])
+                    pc += 2
+                elif op == OP_ROI_RESET:
+                    self.instructions = ic
+                    self.cost = cost
+                    cost += roi_cost + hooks.on_roi_reset(code[pc + 1])
+                    pc += 2
+                elif op == OP_PROBE_ACCESS:
+                    addr = int(regs[code[pc + 2]])
+                    count_slot = code[pc + 5]
+                    count = 1 if count_slot < 0 else int(regs[count_slot])
+                    var_index = code[pc + 4]
+                    loc_index = code[pc + 7]
+                    site_id = code[pc + 8]
+                    self.instructions = ic
+                    self.cost = cost
+                    cost += hooks.on_probe_access(
+                        kind_objs[code[pc + 1]], addr, code[pc + 3],
+                        var_table[var_index] if var_index >= 0 else None,
+                        count, code[pc + 6],
+                        loc_table[loc_index] if loc_index >= 0 else None,
+                        cs, site_id if site_id >= 0 else None,
+                    )
+                    pc += 9
+                elif op == OP_PROBE_CLASSIFY:
+                    addr = int(regs[code[pc + 2]])
+                    count_slot = code[pc + 5]
+                    count = 1 if count_slot < 0 else int(regs[count_slot])
+                    var_index = code[pc + 4]
+                    loc_index = code[pc + 7]
+                    roi_id = code[pc + 8]
+                    site_id = code[pc + 9]
+                    self.instructions = ic
+                    self.cost = cost
+                    cost += hooks.on_probe_classify(
+                        str_table[code[pc + 1]], addr, code[pc + 3],
+                        var_table[var_index] if var_index >= 0 else None,
+                        count, code[pc + 6],
+                        loc_table[loc_index] if loc_index >= 0 else None,
+                        roi_id if roi_id >= 0 else None,
+                        site_id if site_id >= 0 else None,
+                    )
+                    pc += 10
+                elif op == OP_PROBE_ESCAPE:
+                    value = int(regs[code[pc + 1]])
+                    dest = int(regs[code[pc + 2]])
+                    loc_index = code[pc + 3]
+                    self.instructions = ic
+                    self.cost = cost
+                    cost += hooks.on_probe_escape(
+                        value, dest,
+                        loc_table[loc_index] if loc_index >= 0 else None,
+                    )
+                    pc += 4
+                elif op == OP_OMP_BEGIN:
+                    self.instructions = ic
+                    self.cost = cost
+                    cost += roi_cost + hooks.on_omp_region(
+                        str_table[code[pc + 1]], code[pc + 2], True)
+                    pc += 3
+                elif op == OP_OMP_END:
+                    self.instructions = ic
+                    self.cost = cost
+                    cost += roi_cost + hooks.on_omp_region(
+                        str_table[code[pc + 1]], code[pc + 2], False)
+                    pc += 3
+                elif op == OP_OMP_BARRIER:
+                    self.instructions = ic
+                    self.cost = cost
+                    cost += roi_cost + hooks.on_omp_barrier()
+                    pc += 1
+                else:
+                    raise VMError(f"unknown opcode {op} at {fn.name}+{pc}")
+        finally:
+            self.instructions = ic
+            self.cost = cost
+            self.access_counts["var"] += var_accesses
+            self.access_counts["mem"] += mem_accesses

@@ -1,0 +1,423 @@
+"""Flat register bytecode: the compiled form the dispatch VM executes.
+
+:mod:`repro.vm.codegen` lowers a verified IR module into one
+:class:`BytecodeModule`: per function a single ``array('q')`` code stream
+of integer opcodes with *pre-resolved* operand slots (constants, arguments
+and temps share one flat register file per frame), branch targets resolved
+to absolute code offsets, builtin and call targets pre-bound through small
+index tables, and CARMOT probes / ROI / OMP markers lowered to inline
+opcodes.  Execution then needs no per-step object inspection at all — the
+dispatch loop in :mod:`repro.vm.bcinterp` only indexes arrays.
+
+The module is also a cacheable artifact: :func:`serialize_bytecode` emits
+canonical JSON (key-sorted, compact separators, tables in deterministic
+order) so warm session runs skip lowering entirely, with the same
+byte-stability guarantees as :mod:`repro.ir.serialize`:
+
+- ``serialize(deserialize(serialize(bc))) == serialize(bc)`` byte for byte;
+- digests are stable across process runs (no hash-seed dependence).
+
+The format carries ``BYTECODE_SCHEMA_VERSION``; any shape change must bump
+it (stale cache entries then never match — see :mod:`repro.session.keys`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro._version import BYTECODE_SCHEMA_VERSION
+from repro.errors import ReproError
+from repro.ir.instructions import SourceLoc, VarInfo
+from repro.ir.serialize import _dec_type, _enc_type
+from repro.lang.tokens import SourcePos
+
+FORMAT_NAME = "repro-bytecode"
+
+
+class BytecodeError(ReproError):
+    """Lowering failed (malformed or unsupported IR shape)."""
+
+
+class BytecodeSerializeError(ReproError):
+    """Malformed or incompatible serialized bytecode."""
+
+
+# ---------------------------------------------------------------------------
+# Opcode set
+# ---------------------------------------------------------------------------
+#
+# Every opcode is one int followed by a fixed (per-opcode) operand layout;
+# call opcodes append ``argc`` trailing argument slots.  Operand slots are
+# indices into the frame's flat register file; ``*_pc`` operands are
+# absolute offsets into the function's code stream; ``var``/``loc``/string
+# operands index the module-level side tables (-1 encodes None).
+
+OP_LOAD = 1            # [dst, ptr, ty, is_var]
+OP_STORE = 2           # [val, ptr, ty, is_var]
+OP_ADDR = 3            # [dst, base, index, scale, offset]
+OP_JUMP = 4            # [target_pc]
+OP_BR = 5              # [cond, true_pc, false_pc]
+OP_PHI = 6             # [k, succ_pc, src0, dst0, ... src{k-1}, dst{k-1}]
+OP_CAST = 7            # [dst, src, to]
+OP_ALLOCA = 8          # [dst, size, var, loc]
+OP_CALL = 9            # [func, dst, pin, argc, args...]
+OP_CALL_BUILTIN = 10   # [builtin, dst, pin, alloc_loc, argc, args...]
+OP_CALL_IND = 11       # [callee, dst, pin, alloc_loc, argc, args...]
+OP_CALL_MISSING = 12   # [name_str, argc, args...]
+OP_RET = 13            # [val]
+OP_ROI_BEGIN = 14      # [roi]
+OP_ROI_END = 15        # [roi]
+OP_ROI_RESET = 16      # [roi]
+OP_PROBE_ACCESS = 17   # [is_write, ptr, size, var, count, stride, loc, site]
+OP_PROBE_CLASSIFY = 18  # [states_str, ptr, size, var, count, stride, loc,
+#                          roi, site]
+OP_PROBE_ESCAPE = 19   # [val, ptr, loc]
+OP_OMP_BEGIN = 20      # [kind_str, region]
+OP_OMP_END = 21        # [kind_str, region]
+OP_OMP_BARRIER = 22    # []
+OP_ADD = 23            # binops: [dst, lhs, rhs]; div/rem add a loc operand
+OP_SUB = 24
+OP_MUL = 25
+OP_DIV = 26            # [dst, lhs, rhs, loc]
+OP_REM = 27            # [dst, lhs, rhs, loc]
+OP_EQ = 28
+OP_NE = 29
+OP_LT = 30
+OP_LE = 31
+OP_GT = 32
+OP_GE = 33
+OP_AND = 34
+OP_OR = 35
+OP_XOR = 36
+OP_SHL = 37
+OP_SHR = 38
+
+#: IR binop name -> opcode (div/rem carry an extra loc operand for traps).
+BINOP_OPCODES: Dict[str, int] = {
+    "add": OP_ADD, "sub": OP_SUB, "mul": OP_MUL, "div": OP_DIV,
+    "rem": OP_REM, "eq": OP_EQ, "ne": OP_NE, "lt": OP_LT, "le": OP_LE,
+    "gt": OP_GT, "ge": OP_GE, "and": OP_AND, "or": OP_OR, "xor": OP_XOR,
+    "shl": OP_SHL, "shr": OP_SHR,
+}
+
+#: Scalar type codes for load/store/cast operands.
+TY_INT = 0
+TY_FLOAT = 1
+TY_CHAR = 2
+
+#: Opcode -> mnemonic, for ``--trace`` output and disassembly in tests.
+OPCODE_NAMES: Dict[int, str] = {
+    OP_LOAD: "load", OP_STORE: "store", OP_ADDR: "addr", OP_JUMP: "jump",
+    OP_BR: "br", OP_PHI: "phi", OP_CAST: "cast", OP_ALLOCA: "alloca",
+    OP_CALL: "call", OP_CALL_BUILTIN: "call.builtin",
+    OP_CALL_IND: "call.ind", OP_CALL_MISSING: "call.missing",
+    OP_RET: "ret", OP_ROI_BEGIN: "roi.begin", OP_ROI_END: "roi.end",
+    OP_ROI_RESET: "roi.reset", OP_PROBE_ACCESS: "probe.access",
+    OP_PROBE_CLASSIFY: "probe.classify", OP_PROBE_ESCAPE: "probe.escape",
+    OP_OMP_BEGIN: "omp.begin", OP_OMP_END: "omp.end",
+    OP_OMP_BARRIER: "omp.barrier",
+}
+OPCODE_NAMES.update({code: name for name, code in BINOP_OPCODES.items()})
+
+#: Fixed operand count per opcode; call opcodes add ``argc`` more.
+OPCODE_WIDTHS: Dict[int, int] = {
+    OP_LOAD: 4, OP_STORE: 4, OP_ADDR: 5, OP_JUMP: 1, OP_BR: 3,
+    OP_CAST: 3, OP_ALLOCA: 4, OP_CALL: 4, OP_CALL_BUILTIN: 5,
+    OP_CALL_IND: 5, OP_CALL_MISSING: 2, OP_RET: 1, OP_ROI_BEGIN: 1,
+    OP_ROI_END: 1, OP_ROI_RESET: 1, OP_PROBE_ACCESS: 8,
+    OP_PROBE_CLASSIFY: 9, OP_PROBE_ESCAPE: 3, OP_OMP_BEGIN: 2,
+    OP_OMP_END: 2, OP_OMP_BARRIER: 0,
+    OP_ADD: 3, OP_SUB: 3, OP_MUL: 3, OP_DIV: 4, OP_REM: 4, OP_EQ: 3,
+    OP_NE: 3, OP_LT: 3, OP_LE: 3, OP_GT: 3, OP_GE: 3, OP_AND: 3,
+    OP_OR: 3, OP_XOR: 3, OP_SHL: 3, OP_SHR: 3,
+}
+
+#: Opcodes whose width is ``OPCODE_WIDTHS[op] + argc`` (argc operand index
+#: relative to the opcode word, used by the disassembler/verifier walk).
+CALL_ARGC_INDEX = {OP_CALL: 4, OP_CALL_BUILTIN: 5, OP_CALL_IND: 5,
+                   OP_CALL_MISSING: 2}
+#: OP_PHI's width is ``2 + 2*k`` (k = first operand).
+
+
+def instr_width(code, pc: int) -> int:
+    """Total width (opcode word included) of the instruction at ``pc``."""
+    op = code[pc]
+    if op == OP_PHI:
+        return 3 + 2 * code[pc + 1]
+    width = 1 + OPCODE_WIDTHS[op]
+    argc_at = CALL_ARGC_INDEX.get(op)
+    if argc_at is not None:
+        width += code[pc + argc_at]
+    return width
+
+
+# ---------------------------------------------------------------------------
+# Containers
+# ---------------------------------------------------------------------------
+
+
+class BytecodeFunction:
+    """One lowered function: code stream + frame layout + const pool.
+
+    The frame register file is ``[consts..., args..., temps...]``:
+    ``consts`` entries are tagged ``("v", value)`` literals, ``("g", name)``
+    global addresses, or ``("f", name)`` function-pointer values, resolved
+    once at link time into a frame *prototype* the interpreter copies per
+    call (one C-level list copy instead of per-operand evaluation).
+    """
+
+    __slots__ = ("name", "code", "consts", "n_args", "n_regs", "entry_pc",
+                 "instrumented", "arg_base", "proto")
+
+    def __init__(self, name: str, code, consts: List[tuple], n_args: int,
+                 n_regs: int, entry_pc: int, instrumented: bool) -> None:
+        self.name = name
+        self.code = code
+        self.consts = consts
+        self.n_args = n_args
+        self.n_regs = n_regs
+        self.entry_pc = entry_pc
+        #: ``not conventionally_optimized`` at lowering time — the second
+        #: argument of ``ExecutionHooks.on_call_enter``.
+        self.instrumented = instrumented
+        self.arg_base = len(consts)
+        #: Linked frame prototype (filled by the interpreter's first link).
+        self.proto: Optional[list] = None
+
+
+class GlobalInit:
+    """Link-time recipe for one global: size, identity, initializer."""
+
+    __slots__ = ("name", "size", "var_index", "init_kind", "init")
+
+    def __init__(self, name: str, size: int, var_index: int,
+                 init_kind: str, init) -> None:
+        self.name = name
+        self.size = size
+        self.var_index = var_index
+        self.init_kind = init_kind  # "none" | "str" | "float" | "int"
+        self.init = init
+
+
+class BytecodeModule:
+    """A lowered module: functions plus the shared side tables.
+
+    ``function_order`` fixes function-pointer addresses
+    (``FUNC_PTR_BASE + index``, builtins appended after — the same table
+    the tree-walk interpreter builds), ``builtin_order`` the direct
+    builtin-call binding, and the var/loc/string tables everything the
+    probe and marker opcodes reference.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.functions: Dict[str, BytecodeFunction] = {}
+        self.function_order: List[str] = []
+        self.builtin_order: List[str] = []
+        self.var_table: List[VarInfo] = []
+        self.loc_table: List[SourceLoc] = []
+        self.string_table: List[str] = []
+        self.globals: List[GlobalInit] = []
+        #: Link cache (global/function addresses are deterministic, so one
+        #: link serves every interpreter over this module).
+        self._linked = None
+
+    def rebind_vars(self, module) -> None:
+        """Swap var-table entries for the IR module's own instances.
+
+        A deserialized bytecode module carries fresh :class:`VarInfo`
+        objects; the runtime's site intern table is keyed by identity, so
+        runs must report the same instances the :class:`CarmotRuntime`
+        was seeded with.  Matching is by ``uid`` (unique per module).
+        (:class:`SourceLoc` needs no rebinding — it is globally interned.)
+        """
+        by_uid = {}
+        for gvar in module.globals.values():
+            by_uid[gvar.var.uid] = gvar.var
+        for function in module.functions.values():
+            for var in function.param_vars:
+                by_uid[var.uid] = var
+            for alloca in function.var_allocas.values():
+                if alloca.var is not None:
+                    by_uid[alloca.var.uid] = alloca.var
+            for instr in function.instructions():
+                var = getattr(instr, "var", None)
+                if var is not None:
+                    by_uid[var.uid] = var
+        for var, _loc in module.site_table:
+            if var is not None:
+                by_uid[var.uid] = var
+        self.var_table = [by_uid.get(var.uid, var) for var in self.var_table]
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def _enc_var(var: VarInfo, structs, loc_index) -> dict:
+    return {
+        "uid": var.uid,
+        "name": var.name,
+        "storage": var.storage,
+        "ty": _enc_type(var.ty, structs),
+        "decl": loc_index(var.decl_loc),
+    }
+
+
+def serialize_bytecode(bc: BytecodeModule) -> str:
+    """Canonical JSON for one :class:`BytecodeModule` (byte-stable)."""
+    structs: Dict[str, object] = {}
+    loc_ids = {loc: index for index, loc in enumerate(bc.loc_table)}
+
+    def loc_index(loc: Optional[SourceLoc]) -> int:
+        return -1 if loc is None else loc_ids[loc]
+
+    doc = {
+        "format": FORMAT_NAME,
+        "schema": BYTECODE_SCHEMA_VERSION,
+        "module": bc.name,
+        "locs": [[loc.filename, loc.line, loc.column]
+                 for loc in bc.loc_table],
+        "strings": list(bc.string_table),
+        "function_order": list(bc.function_order),
+        "builtin_order": list(bc.builtin_order),
+        "vars": [_enc_var(var, structs, loc_index) for var in bc.var_table],
+        "globals": [
+            {
+                "name": g.name,
+                "size": g.size,
+                "var": g.var_index,
+                "init": (None if g.init_kind == "none"
+                         else [g.init_kind, g.init]),
+            }
+            for g in bc.globals
+        ],
+        "functions": [
+            {
+                "name": fn.name,
+                "code": list(fn.code),
+                "consts": [list(entry) for entry in fn.consts],
+                "n_args": fn.n_args,
+                "n_regs": fn.n_regs,
+                "entry": fn.entry_pc,
+                "instrumented": fn.instrumented,
+            }
+            for fn in (bc.functions[name] for name in bc.function_order)
+        ],
+    }
+    # The struct table is collected while encoding var types; emit it
+    # sorted by name so the payload never depends on walk order.
+    doc["structs"] = [
+        {
+            "name": name,
+            "fields": [[fname, _enc_type(fty, structs)]
+                       for fname, fty in structs[name].fields],
+        }
+        for name in sorted(structs)
+    ]
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def deserialize_bytecode(payload: str) -> BytecodeModule:
+    """Inverse of :func:`serialize_bytecode`; raises
+    :class:`BytecodeSerializeError` on any malformed or stale payload."""
+    from array import array
+
+    from repro.lang import types as ct
+
+    try:
+        doc = json.loads(payload)
+    except (json.JSONDecodeError, TypeError) as error:
+        raise BytecodeSerializeError(f"unreadable bytecode payload: {error}")
+    if not isinstance(doc, dict):
+        raise BytecodeSerializeError(
+            f"bytecode payload is {type(doc).__name__}, expected object"
+        )
+    try:
+        if doc.get("format") != FORMAT_NAME:
+            raise BytecodeSerializeError(
+                f"not a {FORMAT_NAME} payload: {doc.get('format')!r}"
+            )
+        if doc.get("schema") != BYTECODE_SCHEMA_VERSION:
+            raise BytecodeSerializeError(
+                f"bytecode schema {doc.get('schema')!r} != "
+                f"{BYTECODE_SCHEMA_VERSION}"
+            )
+        structs: Dict[str, ct.StructType] = {}
+        for sdoc in doc["structs"]:
+            structs[sdoc["name"]] = ct.StructType(sdoc["name"])
+        for sdoc in doc["structs"]:
+            structs[sdoc["name"]].set_body([
+                (fname, _dec_type(fdoc, structs))
+                for fname, fdoc in sdoc["fields"]
+            ])
+        bc = BytecodeModule(doc["module"])
+        bc.loc_table = [
+            SourceLoc.of(SourcePos(filename, line, column))
+            for filename, line, column in doc["locs"]
+        ]
+        bc.string_table = [str(s) for s in doc["strings"]]
+        bc.function_order = [str(n) for n in doc["function_order"]]
+        bc.builtin_order = [str(n) for n in doc["builtin_order"]]
+
+        def loc_at(index: int) -> Optional[SourceLoc]:
+            return None if index < 0 else bc.loc_table[index]
+
+        bc.var_table = [
+            VarInfo(
+                uid=vdoc["uid"], name=vdoc["name"],
+                storage=vdoc["storage"],
+                ty=_dec_type(vdoc["ty"], structs),
+                decl_loc=loc_at(vdoc["decl"]),
+            )
+            for vdoc in doc["vars"]
+        ]
+        for gdoc in doc["globals"]:
+            init = gdoc["init"]
+            if init is None:
+                kind, value = "none", None
+            else:
+                kind, value = init[0], init[1]
+                if kind not in ("str", "float", "int"):
+                    raise BytecodeSerializeError(
+                        f"unknown global init kind {kind!r}"
+                    )
+            bc.globals.append(GlobalInit(
+                gdoc["name"], gdoc["size"], gdoc["var"], kind, value,
+            ))
+        for fdoc in doc["functions"]:
+            consts = []
+            for entry in fdoc["consts"]:
+                tag = entry[0]
+                if tag not in ("v", "g", "f"):
+                    raise BytecodeSerializeError(
+                        f"unknown const tag {tag!r}"
+                    )
+                consts.append((tag, entry[1]))
+            fn = BytecodeFunction(
+                name=fdoc["name"],
+                code=array("q", fdoc["code"]),
+                consts=consts,
+                n_args=fdoc["n_args"],
+                n_regs=fdoc["n_regs"],
+                entry_pc=fdoc["entry"],
+                instrumented=bool(fdoc["instrumented"]),
+            )
+            bc.functions[fn.name] = fn
+        if bc.function_order != list(bc.functions):
+            raise BytecodeSerializeError("function table order mismatch")
+        return bc
+    except BytecodeSerializeError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError, OverflowError) \
+            as error:
+        raise BytecodeSerializeError(f"malformed bytecode payload: {error}")
+
+
+def bytecode_digest(bc: BytecodeModule) -> str:
+    """Stable content digest of a bytecode module."""
+    from repro.ir.serialize import payload_digest
+
+    return payload_digest(serialize_bytecode(bc))

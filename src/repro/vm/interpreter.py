@@ -48,10 +48,7 @@ from repro.builtins_spec import BUILTINS
 from repro.vm.builtins import BUILTIN_IMPLS, Xorshift64
 from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.vm.hooks import ExecutionHooks
-from repro.vm.memory import Memory, MemoryObject
-
-#: Function "addresses" for function pointers live above all data segments.
-FUNC_PTR_BASE = 0x7000_0000
+from repro.vm.memory import FUNC_PTR_BASE, Memory, MemoryObject
 
 
 @dataclass
@@ -98,6 +95,7 @@ class Interpreter:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         max_instructions: int = 2_000_000_000,
         budgets: Optional[ExecutionBudgets] = None,
+        trace_stream=None,
     ) -> None:
         self.module = module
         self.hooks = hooks or ExecutionHooks()
@@ -127,6 +125,8 @@ class Interpreter:
         self._func_addrs: Dict[str, int] = {}
         self._funcs_by_addr: Dict[int, str] = {}
         self._return_value: object = None
+        #: Optional per-instruction execution trace (``--trace``).
+        self.trace_stream = trace_stream
         self._trace_lines = False
         self.line_costs: Dict[Tuple[str, int], int] = {}
         setattr(self.hooks, "vm", self)
@@ -230,6 +230,7 @@ class Interpreter:
     def _execute(self) -> None:
         cm = self.cost_model
         trace = self._trace_lines
+        trace_stream = self.trace_stream
         line_costs = self.line_costs
         while self._frames:
             frame = self._frames[-1]
@@ -239,6 +240,12 @@ class Interpreter:
             self.memory.clock = self.instructions
             if self.instructions > self.max_instructions:
                 raise BudgetExceeded("instruction budget exceeded")
+            if trace_stream is not None:
+                print(
+                    f"trace: [{self.instructions}] "
+                    f"{frame.function.name}:{frame.block.label} {instr}",
+                    file=trace_stream,
+                )
             cost_before = self.cost if trace else 0
             kind = type(instr)
             if kind is Load:
@@ -528,7 +535,38 @@ def run_module(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     max_instructions: int = 2_000_000_000,
     budgets: Optional[ExecutionBudgets] = None,
+    vm: str = "bytecode",
+    bytecode=None,
+    trace_stream=None,
 ) -> RunResult:
-    """Convenience wrapper: run ``module`` once and return the result."""
-    interp = Interpreter(module, hooks, cost_model, max_instructions, budgets)
+    """Run ``module`` once and return the result.
+
+    ``vm`` selects the execution engine: ``"bytecode"`` (the default)
+    lowers the module to register bytecode and runs the flat dispatch
+    loop; ``"ir"`` runs the original tree-walk, kept as the differential
+    oracle.  Both engines are exactly equivalent — same costs,
+    instruction counts, hook sequences, and budget trip points.
+
+    ``bytecode`` optionally supplies an already-lowered
+    :class:`~repro.vm.bytecode.BytecodeModule` (e.g. from the session
+    artifact cache); otherwise lowering happens on first use and is
+    memoized on the module object.
+    """
+    if vm == "ir":
+        interp = Interpreter(module, hooks, cost_model, max_instructions,
+                             budgets, trace_stream=trace_stream)
+        return interp.run(entry, args)
+    if vm != "bytecode":
+        raise VMError(f"unknown vm {vm!r}; expected 'bytecode' or 'ir'")
+    from repro.vm.bcinterp import BytecodeInterpreter
+    from repro.vm.codegen import lower_module
+
+    if bytecode is None:
+        bytecode = getattr(module, "_bytecode", None)
+        if bytecode is None:
+            bytecode = lower_module(module)
+            module._bytecode = bytecode
+    interp = BytecodeInterpreter(bytecode, hooks, cost_model,
+                                 max_instructions, budgets,
+                                 trace_stream=trace_stream)
     return interp.run(entry, args)

@@ -19,13 +19,25 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import BudgetExceeded, MemoryFault
+from repro.errors import BudgetExceeded, MemoryFault, VMError
 from repro.lang import types as ct
 from repro.ir.instructions import SourceLoc, VarInfo
 
 GLOBAL_BASE = 0x0001_0000
 STACK_BASE = 0x1000_0000
 HEAP_BASE = 0x4000_0000
+#: Function "addresses" for function pointers live above all data segments.
+FUNC_PTR_BASE = 0x7000_0000
+
+#: Exclusive upper bound of each bump-allocated segment.  A segment that
+#: grew past its neighbour's base would alias foreign objects (or, for the
+#: heap, function-pointer "addresses"), so :meth:`Memory.allocate` refuses
+#: to cross these.
+SEGMENT_LIMITS = {
+    "global": STACK_BASE,
+    "stack": HEAP_BASE,
+    "heap": FUNC_PTR_BASE,
+}
 
 _INT = struct.Struct("<q")
 _DOUBLE = struct.Struct("<d")
@@ -116,6 +128,14 @@ class Memory:
                     f"requested > limit {self.heap_limit}"
                 )
         base = self._next[kind]
+        # Refuse to grow a segment into its neighbour (checked before the
+        # backing bytearray exists, so a huge request cannot consume host
+        # memory on its way to the error).
+        if base + size + 1 > SEGMENT_LIMITS[kind]:
+            raise VMError(
+                f"{kind} segment overflow: allocating {size} bytes at "
+                f"{base:#x} would cross {SEGMENT_LIMITS[kind]:#x}"
+            )
         # Pad with a guard byte so adjacent objects are never contiguous and
         # off-by-one pointers fault instead of silently touching a neighbour.
         self._next[kind] = base + size + 1

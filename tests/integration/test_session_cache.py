@@ -82,7 +82,7 @@ def test_encodings_share_compile_but_not_profile(tmp_path):
     session.profile(SOURCE, "carmot", **ENCODINGS["object"])
     packed = session.profile(SOURCE, "carmot", **ENCODINGS["packed"])
     assert packed.stages == {"frontend": "hit", "pipeline": "hit",
-                             "profile": "miss"}
+                             "codegen": "hit", "profile": "miss"}
 
 
 # -- the CLI as a cache client ----------------------------------------------
@@ -121,7 +121,8 @@ class TestCliCaching:
         capsys.readouterr()
         assert main(["psec", source_file, "--cache-stats"] + cache) == 0
         err = capsys.readouterr().err
-        assert "cache: frontend=hit pipeline=hit profile=hit" in err
+        assert "cache: frontend=hit pipeline=hit codegen=hit profile=hit" \
+            in err
 
     def test_corrupt_entry_recomputes_identically(
             self, source_file, tmp_path, capsys):

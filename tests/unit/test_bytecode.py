@@ -1,0 +1,247 @@
+"""Unit tests for the register-bytecode layer: codegen layout, constant
+interning, artifact round-trips, and the dispatch loop's observable
+contract (budgets, traps, tracing) against the tree-walk oracle."""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.compiler import compile_baseline, compile_carmot
+from repro.errors import BudgetExceeded, TrapError, VMError
+from repro.resilience.budgets import ExecutionBudgets
+from repro.vm.bytecode import (
+    OP_PHI,
+    OPCODE_NAMES,
+    BytecodeSerializeError,
+    bytecode_digest,
+    deserialize_bytecode,
+    instr_width,
+    serialize_bytecode,
+)
+from repro.vm.codegen import lower_module
+from repro.vm.interpreter import run_module
+
+REPO = Path(__file__).resolve().parents[2]
+
+SCALAR = """
+int main() {
+    int x = 6;
+    float y = 2.5;
+    int i = 0;
+    int acc = 0;
+    while (i < 10) {
+        acc = acc + x * i;
+        i = i + 1;
+    }
+    print_int(acc);
+    return acc % 100;
+}
+"""
+
+
+def _example(name):
+    return (REPO / "examples" / f"{name}.mc").read_text()
+
+
+# -- codegen layout -----------------------------------------------------------
+
+
+class TestCodegenLayout:
+    @pytest.mark.parametrize(
+        "name", ["roi_loop", "stencil_calls", "anneal_stats"])
+    def test_code_streams_decode_cleanly(self, name):
+        """Walking every function by instr_width must land exactly on the
+        end of the stream, visiting only known opcodes with sane operand
+        indices — the structural invariant every other test builds on."""
+        program = compile_carmot(_example(name), name=name)
+        bc = lower_module(program.module)
+        for fn in bc.functions.values():
+            pc = 0
+            code = fn.code
+            while pc < len(code):
+                op = code[pc]
+                assert op in OPCODE_NAMES, f"unknown opcode {op} at {pc}"
+                width = instr_width(code, pc)
+                assert width >= 1
+                assert pc + width <= len(code)
+                pc += width
+            assert pc == len(code)
+            assert fn.n_regs >= fn.arg_base + fn.n_args
+            assert 0 <= fn.entry_pc <= len(code)
+
+    def test_branch_targets_are_instruction_starts(self):
+        program = compile_baseline(SCALAR)
+        bc = lower_module(program.module)
+        fn = bc.functions["main"]
+        starts = set()
+        pc = 0
+        while pc < len(fn.code):
+            starts.add(pc)
+            pc += instr_width(fn.code, pc)
+        pc = 0
+        from repro.vm.bytecode import OP_BR, OP_JUMP
+        while pc < len(fn.code):
+            op = fn.code[pc]
+            if op == OP_JUMP:
+                assert fn.code[pc + 1] in starts
+            elif op == OP_BR:
+                assert fn.code[pc + 2] in starts
+                assert fn.code[pc + 3] in starts
+            elif op == OP_PHI:
+                assert fn.code[pc + 2] in starts
+            pc += instr_width(fn.code, pc)
+
+    def test_constants_distinguish_int_from_float(self):
+        """1 and 1.0 are different runtime values (int vs float registers)
+        and must not collapse into one constant-pool slot."""
+        source = """
+        int main() {
+            int a = 1;
+            float b = 1.0;
+            print_int(a);
+            print_float(b);
+            return 0;
+        }
+        """
+        program = compile_baseline(source)
+        bc = lower_module(program.module)
+        consts = bc.functions["main"].consts
+        values = [c[1] for c in consts if c[0] == "v"]
+        # 1 == 1.0 in Python, so check by type, not membership.
+        assert any(type(v) is int and v == 1 for v in values)
+        assert any(type(v) is float and v == 1.0 for v in values)
+
+
+# -- serialization ------------------------------------------------------------
+
+
+class TestSerialization:
+    def test_round_trip_is_byte_stable(self):
+        program = compile_carmot(_example("roi_loop"), name="roi_loop")
+        payload = serialize_bytecode(lower_module(program.module))
+        restored = deserialize_bytecode(payload)
+        again = serialize_bytecode(restored)
+        assert payload == again
+        assert bytecode_digest(restored) == \
+            bytecode_digest(deserialize_bytecode(again))
+
+    def test_deserialized_bytecode_runs_identically(self):
+        program = compile_baseline(SCALAR)
+        direct = lower_module(program.module)
+        restored = deserialize_bytecode(serialize_bytecode(direct))
+        restored.rebind_vars(program.module)
+        a = run_module(program.module, bytecode=direct)
+        b = run_module(program.module, bytecode=restored)
+        assert (a.output, a.cost, a.instructions, a.access_counts) == \
+            (b.output, b.cost, b.instructions, b.access_counts)
+
+    def test_garbage_payload_is_a_serialize_error(self):
+        for junk in ["not json", "[]", json.dumps({"format": "other"}),
+                     json.dumps({"format": "repro-bytecode", "schema": 999})]:
+            with pytest.raises(BytecodeSerializeError):
+                deserialize_bytecode(junk)
+
+    def test_truncated_document_is_a_serialize_error(self):
+        program = compile_baseline(SCALAR)
+        payload = serialize_bytecode(lower_module(program.module))
+        doc = json.loads(payload)
+        del doc["functions"]
+        with pytest.raises(BytecodeSerializeError):
+            deserialize_bytecode(json.dumps(doc))
+
+
+# -- dispatch-loop contract ---------------------------------------------------
+
+
+class TestDispatchContract:
+    def test_budget_trips_at_the_same_virtual_step(self):
+        program = compile_baseline(SCALAR)
+        budgets = ExecutionBudgets(max_steps=25, max_heap_bytes=0,
+                                   max_recursion_depth=64)
+        outcomes = {}
+        for vm in ("ir", "bytecode"):
+            try:
+                run_module(program.module, budgets=budgets, vm=vm)
+                outcomes[vm] = None
+            except BudgetExceeded as err:
+                outcomes[vm] = str(err)
+        assert outcomes["ir"] is not None
+        assert outcomes["ir"] == outcomes["bytecode"]
+
+    def test_trap_messages_match_the_tree_walk(self):
+        source = """
+        int main() {
+            int d = 0;
+            return 10 / d;
+        }
+        """
+        program = compile_baseline(source)
+        messages = {}
+        for vm in ("ir", "bytecode"):
+            with pytest.raises(TrapError) as excinfo:
+                run_module(program.module, vm=vm)
+            messages[vm] = str(excinfo.value)
+        assert messages["ir"] == messages["bytecode"]
+        assert "division by zero" in messages["ir"]
+
+    def test_missing_entry_raises_vm_error(self):
+        program = compile_baseline(SCALAR)
+        with pytest.raises(VMError, match="no function named"):
+            run_module(program.module, entry="nope", vm="bytecode")
+
+    def test_unknown_vm_name_raises(self):
+        program = compile_baseline(SCALAR)
+        with pytest.raises(VMError, match="unknown vm"):
+            run_module(program.module, vm="llvm")
+
+    def test_trace_streams_one_line_per_dispatch(self):
+        program = compile_baseline(SCALAR)
+        stream = io.StringIO()
+        run_module(program.module, vm="bytecode", trace_stream=stream)
+        lines = stream.getvalue().splitlines()
+        assert lines, "no trace emitted"
+        assert all(line.startswith("trace: [") for line in lines)
+        assert any("main+" in line for line in lines)
+
+    def test_ir_walk_trace_names_blocks(self):
+        program = compile_baseline(SCALAR)
+        stream = io.StringIO()
+        run_module(program.module, vm="ir", trace_stream=stream)
+        lines = stream.getvalue().splitlines()
+        assert lines and all(line.startswith("trace: [") for line in lines)
+        assert any("main:" in line for line in lines)
+
+
+# -- session artifact ---------------------------------------------------------
+
+
+class TestBytecodeArtifact:
+    def test_codegen_stage_stores_a_bytecode_kind(self, tmp_path):
+        from repro.session import Session
+
+        session = Session(cache_dir=str(tmp_path))
+        session.profile(_example("roi_loop"), "carmot", name="roi_loop")
+        kinds = session.store.stats().by_kind
+        assert kinds.get("bytecode") == 1
+
+    def test_corrupt_bytecode_artifact_recomputes(self, tmp_path):
+        from repro.session import Session, codegen_key
+
+        session = Session(cache_dir=str(tmp_path))
+        cold = session.profile(_example("roi_loop"), "carmot",
+                               name="roi_loop")
+        compile_result = session.compile(
+            _example("roi_loop"), "carmot", name="roi_loop")
+        key = codegen_key(compile_result.ir_digest)
+        entry = session.store._entry_path(key)
+        doc = json.loads(entry.read_text())
+        doc["payload"] = "garbage"
+        import hashlib
+        doc["payload_sha256"] = hashlib.sha256(b"garbage").hexdigest()
+        entry.write_text(json.dumps(doc))
+        warm = session.profile(_example("roi_loop"), "carmot",
+                               name="roi_loop")
+        assert warm.stages["codegen"] == "miss"
+        assert warm.payload == cold.payload

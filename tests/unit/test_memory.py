@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.errors import MemoryFault
+from repro.errors import MemoryFault, VMError
 from repro.lang import types as ct
 from repro.vm.memory import Memory
 
@@ -145,3 +145,41 @@ def test_scalar_array_roundtrip(values):
         mem.write_scalar(obj.base + 8 * i, value, ct.INT)
     for i, value in enumerate(values):
         assert mem.read_scalar(obj.base + 8 * i, ct.INT) == value
+
+
+class TestSegmentOverflow:
+    """Each segment is a fixed address range; crossing its upper bound
+    must fail loudly instead of bleeding into the next segment (where
+    object lookup would attribute the bytes to the wrong kind)."""
+
+    def test_global_overflow_raises(self):
+        from repro.vm.memory import STACK_BASE
+        mem = Memory()
+        with pytest.raises(VMError, match="global segment overflow"):
+            mem.allocate(STACK_BASE + 8, "global")
+
+    def test_stack_overflow_raises(self):
+        from repro.vm.memory import HEAP_BASE, STACK_BASE
+        mem = Memory()
+        mem.allocate(64, "stack")
+        with pytest.raises(VMError, match="stack segment overflow"):
+            mem.allocate(HEAP_BASE - STACK_BASE, "stack")
+
+    def test_heap_overflow_raises(self):
+        from repro.vm.memory import FUNC_PTR_BASE, HEAP_BASE
+        mem = Memory()  # heap_limit 0 = the budget check is off
+        with pytest.raises(VMError, match="heap segment overflow"):
+            mem.allocate(FUNC_PTR_BASE - HEAP_BASE + 8, "heap")
+
+    def test_oversized_request_rejected_before_backing_store(self):
+        # The guard fires on the address arithmetic alone — a huge
+        # request must not materialize a huge bytearray first.
+        mem = Memory()
+        with pytest.raises(VMError, match="heap segment overflow"):
+            mem.allocate(10**15, "heap")
+
+    def test_allocations_under_the_limit_still_work(self):
+        mem = Memory()
+        obj = mem.allocate(64, "stack")
+        mem.write_scalar(obj.base, 7, ct.INT)
+        assert mem.read_scalar(obj.base, ct.INT) == 7

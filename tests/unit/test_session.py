@@ -179,11 +179,11 @@ class TestSession:
         session = Session(cache_dir=str(tmp_path))
         cold = session.profile(SOURCE, "carmot")
         assert cold.stages == {"frontend": "miss", "pipeline": "miss",
-                               "profile": "miss"}
+                               "codegen": "miss", "profile": "miss"}
         assert not cold.cached
         warm = session.profile(SOURCE, "carmot")
         assert warm.stages == {"frontend": "hit", "pipeline": "hit",
-                               "profile": "hit"}
+                               "codegen": "hit", "profile": "hit"}
         assert warm.cached
         assert warm.payload == cold.payload
 
@@ -205,14 +205,14 @@ class TestSession:
         session.profile(SOURCE, "carmot")
         changed = session.profile(SOURCE, "carmot", batch_size=3)
         assert changed.stages == {"frontend": "hit", "pipeline": "hit",
-                                  "profile": "miss"}
+                                  "codegen": "hit", "profile": "miss"}
 
     def test_pipeline_change_invalidates_pipeline_and_profile(self, tmp_path):
         session = Session(cache_dir=str(tmp_path))
         session.profile(SOURCE, "carmot")
         changed = session.profile(SOURCE, "naive")
         assert changed.stages == {"frontend": "hit", "pipeline": "miss",
-                                  "profile": "miss"}
+                                  "codegen": "miss", "profile": "miss"}
 
     def test_source_change_invalidates_everything(self, tmp_path):
         session = Session(cache_dir=str(tmp_path))
@@ -220,7 +220,7 @@ class TestSession:
         changed = session.profile(SOURCE.replace("acc + i", "acc - i"),
                                   "carmot")
         assert changed.stages == {"frontend": "miss", "pipeline": "miss",
-                                  "profile": "miss"}
+                                  "codegen": "miss", "profile": "miss"}
 
     def test_whitespace_change_reuses_downstream_stages(self, tmp_path):
         # Content addressing, not input addressing: the edited source
@@ -230,7 +230,7 @@ class TestSession:
         session.profile(SOURCE, "carmot")
         changed = session.profile(SOURCE + "\n", "carmot")
         assert changed.stages == {"frontend": "miss", "pipeline": "hit",
-                                  "profile": "hit"}
+                                  "codegen": "hit", "profile": "hit"}
 
     def test_disabled_session_matches_enabled(self, tmp_path):
         live = Session(enabled=False)
