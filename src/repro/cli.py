@@ -57,6 +57,19 @@ def _run_kwargs(args: argparse.Namespace):
         kwargs["event_encoding"] = args.event_encoding
     if getattr(args, "pipeline_shards", None) is not None:
         kwargs["pipeline_shards"] = args.pipeline_shards
+    if getattr(args, "drain", None):
+        kwargs["drain"] = args.drain
+        if args.drain in ("threads", "procs"):
+            encoding = kwargs.get("event_encoding")
+            if encoding is None:
+                # threads/procs fold packed batches; imply the encoding
+                # the same way --pipeline-shards examples document it.
+                kwargs["event_encoding"] = "packed"
+            elif encoding != "packed":
+                raise ReproError(
+                    f"--drain {args.drain} folds packed batches and "
+                    f"cannot combine with --event-encoding {encoding}"
+                )
     return kwargs
 
 
@@ -250,7 +263,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     report = run_bench(quick=args.quick, seed=args.seed,
                        min_speedup=args.min_speedup, shards=args.shards,
-                       vm_min_speedup=args.vm_min_speedup)
+                       vm_min_speedup=args.vm_min_speedup,
+                       proc_min_speedup=args.proc_min_speedup)
     print(render_bench(report))
     if args.out != "-":
         with open(args.out, "w") as handle:
@@ -305,6 +319,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--pipeline-shards", type=int, default=None, metavar="N",
             help="fold packed batches on N shards keyed by object id "
                  "(0/1 = the deterministic single-threaded drain)",
+        )
+        p.add_argument(
+            "--drain", default=None,
+            choices=["inproc", "threads", "procs"],
+            help="packed-batch drain: in-process flat fold, shard threads, "
+                 "or supervised worker processes over shared-memory rings "
+                 "with crash recovery (implies --event-encoding packed; "
+                 "combine with --fault-plan 'exit@N' and --budget "
+                 "'retries=...' to exercise worker-kill replay)",
         )
         p.add_argument(
             "--vm", default="bytecode", choices=["bytecode", "ir"],
@@ -385,6 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail unless the bytecode VM beats the IR "
                             "tree-walk by X on the dispatch workload "
                             "(with byte-identical PSEC digests)")
+    bench.add_argument("--proc-min-speedup", type=float, default=0.0,
+                       metavar="X",
+                       help="fail unless the packed_procs leg beats the "
+                            "in-process fold by X (0 = report-only; the "
+                            "gate is skipped automatically on single-core "
+                            "hosts — digest equality and crash recovery "
+                            "are always enforced)")
     bench.add_argument("--out", default="BENCH_runtime.json", metavar="PATH",
                        help="write the JSON report here ('-' = stdout only)")
     bench.set_defaults(func=_cmd_bench)

@@ -8,6 +8,13 @@ worker *i*, so a PSE's entry is only ever mutated from one thread and the
 fold needs no locks.  The drain thread blocks until every shard of the
 current batch finishes (the ASMT/reachability merge that follows is
 drain-thread-only).
+
+Completion tokens are tagged with a per-:meth:`run` generation: if a run
+is abandoned mid-collection (a shard task raised and the caller bailed, or
+the collecting thread was interrupted), its late tokens cannot be mistaken
+for completions of the *next* batch — :meth:`run` discards tokens from
+older generations instead of returning before its own tasks finished.
+:meth:`close` drains the token queue after joining and is idempotent.
 """
 
 from __future__ import annotations
@@ -25,9 +32,9 @@ class ShardPool:
             raise ValueError("ShardPool needs at least one worker")
         self.n = n
         self._tasks: List["queue.Queue"] = [queue.Queue() for _ in range(n)]
-        self._done: "queue.Queue[Tuple[int, Optional[BaseException]]]" = (
-            queue.Queue()
-        )
+        self._done: "queue.Queue[Tuple[int, int, Optional[BaseException]]]" \
+            = queue.Queue()
+        self._generation = 0
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, args=(i,), daemon=True,
@@ -45,11 +52,12 @@ class ShardPool:
             task = tasks.get()
             if task is None:
                 return
+            generation, thunk = task
             try:
-                task()
-                self._done.put((index, None))
+                thunk()
+                self._done.put((generation, index, None))
             except BaseException as exc:  # reported by run()
-                self._done.put((index, exc))
+                self._done.put((generation, index, exc))
 
     def run(self, thunks: Sequence[Callable[[], None]]) -> None:
         """Run ``thunks[i]`` on worker ``i`` and wait for all of them.
@@ -63,11 +71,25 @@ class ShardPool:
             raise ValueError(
                 f"{len(thunks)} tasks for {self.n} pinned workers"
             )
+        self._generation += 1
+        generation = self._generation
+        # Discard stale completion tokens left by an abandoned earlier run
+        # (nothing is in flight between runs, so anything queued here is
+        # stale by construction).
+        while True:
+            try:
+                self._done.get_nowait()
+            except queue.Empty:
+                break
         for index, thunk in enumerate(thunks):
-            self._tasks[index].put(thunk)
+            self._tasks[index].put((generation, thunk))
         failures = []
-        for _ in range(len(thunks)):
-            index, exc = self._done.get()
+        remaining = len(thunks)
+        while remaining:
+            token_generation, index, exc = self._done.get()
+            if token_generation != generation:
+                continue  # late token from an interrupted older run
+            remaining -= 1
             if exc is not None:
                 failures.append((index, exc))
         if failures:
@@ -75,6 +97,8 @@ class ShardPool:
             raise failures[0][1]
 
     def close(self) -> None:
+        """Join the workers.  Idempotent; drains any completion tokens a
+        raising or abandoned task left behind."""
         if self._closed:
             return
         self._closed = True
@@ -82,3 +106,8 @@ class ShardPool:
             tasks.put(None)
         for worker in self._workers:
             worker.join()
+        while True:
+            try:
+                self._done.get_nowait()
+            except queue.Empty:
+                break

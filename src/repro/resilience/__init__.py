@@ -16,7 +16,10 @@ from repro.resilience.degradation import (
     ACTION_CLASSIFY_ONLY,
     ACTION_CONSERVATIVE,
     ACTION_DELAYED,
+    ACTION_FALLBACK,
     ACTION_RETRIED,
+    CONSERVATIVE_READ,
+    CONSERVATIVE_WRITE,
     DegradationRecord,
     DegradationReport,
 )
@@ -29,7 +32,8 @@ from repro.resilience.faultinject import (
 
 __all__ = [
     "ACTION_CLASSIFY_ONLY", "ACTION_CONSERVATIVE", "ACTION_DELAYED",
-    "ACTION_RETRIED",
+    "ACTION_FALLBACK", "ACTION_RETRIED",
+    "CONSERVATIVE_READ", "CONSERVATIVE_WRITE",
     "BudgetSpec", "DegradationRecord", "DegradationReport",
     "ExecutionBudgets", "FaultInjector", "FaultKind", "FaultPlan",
     "FaultSpec", "QUEUE_POLICIES", "ResiliencePolicy", "parse_budget_spec",

@@ -85,8 +85,25 @@ class TestFaultPlanParsing:
         assert FaultPlan.parse(FaultPlan.parse(text).render()) == \
             FaultPlan.parse(text)
 
+    def test_parse_worker_exit(self):
+        plan = FaultPlan.parse("seed=3;exit@1;exit@4!")
+        kinds = {(s.kind, s.seq, s.persist) for s in plan.specs}
+        assert (FaultKind.WORKER_EXIT, 1, False) in kinds
+        assert (FaultKind.WORKER_EXIT, 4, True) in kinds
+
+    def test_worker_exit_render_round_trip(self):
+        text = "seed=3;exit@1;exit@4!"
+        assert FaultPlan.parse(FaultPlan.parse(text).render()) == \
+            FaultPlan.parse(text)
+
     def test_unknown_kind_rejected(self):
         with pytest.raises(RuntimeToolError, match="unknown fault kind"):
+            FaultPlan.parse("explode@3")
+
+    def test_unknown_kind_error_lists_valid_kinds(self):
+        with pytest.raises(RuntimeToolError, match="exit"):
+            FaultPlan.parse("explode@3")
+        with pytest.raises(RuntimeToolError, match="crash"):
             FaultPlan.parse("explode@3")
 
     def test_malformed_spec_rejected(self):
@@ -115,6 +132,14 @@ class TestBudgetSpecParsing:
         assert spec.runtime.retry_backoff == 50
         assert spec.runtime.degrade
         assert spec.runtime.max_events_per_roi == 20_000
+
+    def test_parse_worker_supervision_keys(self):
+        spec = parse_budget_spec("heartbeat=5,worker-deadline=2000")
+        assert spec.runtime.heartbeat_ms == 5
+        assert spec.runtime.worker_deadline_ms == 2000
+        # The underscore spelling is accepted too.
+        spec = parse_budget_spec("worker_deadline=750")
+        assert spec.runtime.worker_deadline_ms == 750
 
     def test_unknown_key_rejected(self):
         with pytest.raises(RuntimeToolError, match="unknown budget key"):
