@@ -24,3 +24,7 @@ BYTECODE_SCHEMA_VERSION = 1
 #: Layout version of the on-disk artifact store
 #: (:mod:`repro.session.store`).
 STORE_VERSION = 1
+
+#: Format version of serialized static prescreen facts
+#: (:mod:`repro.compiler.prescreen`).
+PRESCREEN_SCHEMA_VERSION = 1

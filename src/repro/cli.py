@@ -30,10 +30,11 @@ from typing import List, Optional
 
 from repro._version import __version__
 from repro.abstractions import describe_pse, recommend
-from repro.compiler import CompiledProgram
+from repro.compiler import PRESCREEN_MODES, CarmotOptions, CompiledProgram
 from repro.errors import ReproError
 from repro.passes.registry import parse_pipeline
 from repro.resilience import FaultPlan, parse_budget_spec
+from repro.runtime.psec_json import psec_sets_digest, psec_sets_doc
 from repro.session import ArtifactStore, Session
 
 
@@ -94,6 +95,18 @@ def _session_for(args: argparse.Namespace) -> Session:
                    enabled=enabled)
 
 
+def _carmot_options(args: argparse.Namespace) -> Optional[CarmotOptions]:
+    """CarmotOptions from CLI flags, or None when every flag is at its
+    default (so cache keys match pre-flag invocations).  ``--prescreen``
+    is the only option-level flag; the session expands the ``carmot``
+    alias from these options, which is what puts the ``prescreen`` pass
+    into the pipeline."""
+    mode = getattr(args, "prescreen", "off") or "off"
+    if mode == "off":
+        return None
+    return CarmotOptions(prescreen=mode)
+
+
 def _profiling_pipeline(args: argparse.Namespace) -> str:
     """The pipeline text for recommend/psec: full CARMOT by default, an
     explicit ``--passes`` pipeline when given (must instrument)."""
@@ -127,6 +140,7 @@ def _profile(args: argparse.Namespace, source: str):
     session = _session_for(args)
     profiled = session.profile(
         source, _profiling_pipeline(args), abstraction=args.abstraction,
+        options=_carmot_options(args),
         name=args.file, entry=args.entry, vm=args.vm,
         trace=getattr(args, "trace", False), **_run_kwargs(args),
     )
@@ -161,6 +175,25 @@ def _cmd_psec(args: argparse.Namespace) -> int:
     profiled = _profile(args, source)
     program, runtime = profiled.program, profiled.runtime
     _print_degradation(runtime)
+    if getattr(args, "json", False):
+        # Canonical sets-level document: exactly the psec_sets_digest
+        # material plus ROI names/invocations, so two invocations with
+        # identical Sets print byte-identical JSON (the CI prescreen
+        # smoke job byte-diffs hybrid vs fully-dynamic output).
+        sets_doc = psec_sets_doc(runtime.psecs)
+        doc = {
+            "sets_digest": psec_sets_digest(runtime.psecs),
+            "rois": {
+                str(roi_id): {
+                    "name": program.module.rois[roi_id].name,
+                    "invocations": runtime.psecs[roi_id].invocations,
+                    "sets": sets_doc[str(roi_id)],
+                }
+                for roi_id in sorted(runtime.psecs)
+            },
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     for roi_id, psec in sorted(runtime.psecs.items()):
         roi = program.module.rois[roi_id]
         status = " [degraded: " + ", ".join(psec.degradation_reasons) + "]" \
@@ -191,9 +224,10 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     base, _ = base_compile.program.run(
         entry=args.entry, budgets=kwargs.get("budgets"), vm=args.vm)
     naive, _ = _leg(session, args, source, "naive", kwargs)
-    # --passes swaps out the CARMOT leg of the comparison.
+    # --passes swaps out the CARMOT leg of the comparison; --prescreen
+    # only steers this leg (naive has no plan to prescreen).
     carmot, _ = _leg(session, args, source, _profiling_pipeline(args),
-                     kwargs)
+                     kwargs, options=_carmot_options(args))
     print(f"baseline cost : {base.cost}")
     print(f"naive         : {naive.cost}  ({naive.cost / base.cost:.1f}x)")
     print(f"carmot        : {carmot.cost}  ({carmot.cost / base.cost:.1f}x)")
@@ -202,11 +236,11 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 
 
 def _leg(session: Session, args: argparse.Namespace, source: str,
-         pipeline: str, kwargs):
+         pipeline: str, kwargs, options: Optional[CarmotOptions] = None):
     """One instrumented leg of the overhead comparison, profile-cached."""
     profiled = session.profile(
         source, pipeline, abstraction=args.abstraction, name=args.file,
-        entry=args.entry, vm=args.vm, **kwargs,
+        options=options, entry=args.entry, vm=args.vm, **kwargs,
     )
     _maybe_print_pass_stats(args, profiled.program)
     return profiled.result, profiled.runtime
@@ -226,6 +260,7 @@ def _cmd_ir(args: argparse.Namespace) -> int:
         module, _, _ = session.frontend(source, args.file)
     else:
         compiled = session.compile(source, pipeline, args.abstraction,
+                                   options=_carmot_options(args),
                                    name=args.file)
         _maybe_print_pass_stats(args, compiled.program)
         _print_cache_stages(args, compiled.stages)
@@ -336,6 +371,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "produce identical profiles",
         )
         p.add_argument(
+            "--prescreen", default="off", choices=list(PRESCREEN_MODES),
+            help="hybrid static+dynamic PSEC: prove Set membership at "
+                 "compile time and strip the probes — 'safe' claims "
+                 "non-escaping scalar locals, 'aggressive' additionally "
+                 "claims induction-walked array elements; the profile is "
+                 "identical (at Sets level) to the fully-dynamic run",
+        )
+        p.add_argument(
             "--passes", default=None, metavar="PIPELINE",
             help="explicit pass pipeline à la LLVM's -passes=, e.g. "
                  "'carmot,-pin-reduction' or 'selective-mem2reg,instrument' "
@@ -378,6 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
     psec = sub.add_parser("psec", help="print the raw PSEC sets")
     common(psec)
     tracing(psec)
+    psec.add_argument(
+        "--json", action="store_true",
+        help="print the canonical sets-level JSON document (the "
+             "psec_sets_digest material) instead of the human listing — "
+             "byte-identical across runs with identical Sets",
+    )
     psec.set_defaults(func=_cmd_psec)
 
     over = sub.add_parser("overhead", help="baseline/naive/carmot cost")

@@ -28,7 +28,12 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro._version import __version__
-from repro.compiler import compile_baseline, compile_carmot, compile_naive
+from repro.compiler import (
+    CarmotOptions,
+    compile_baseline,
+    compile_carmot,
+    compile_naive,
+)
 from repro.ir.instructions import SourceLoc, VarInfo
 from repro.ir.module import Module
 from repro.lang import types as ct
@@ -520,6 +525,72 @@ def _measure_vm_dispatch(quick: bool, repeats: int) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Prescreen: hybrid static+dynamic PSEC
+# ---------------------------------------------------------------------------
+
+#: The safe-tier subject: a pure scalar reduction whose loop-body PSEs
+#: (accumulators, induction variables) are all provable at compile time,
+#: so the prescreen pass strips every remaining access probe.
+_PRESCREEN_SCALAR_SOURCE = """
+int main() {
+    int sum;
+    sum = 0;
+    for (int r = 0; r < 8; ++r) {
+        #pragma carmot roi abstraction(parallel_for)
+        {
+            int acc = 0;
+            for (int i = 0; i < 64; ++i) {
+                acc = acc + i * 3;
+            }
+            sum = sum + acc;
+        }
+    }
+    print_int(sum);
+    return 0;
+}
+"""
+
+
+def _measure_prescreen() -> List[Dict[str, object]]:
+    """Hybrid static+dynamic PSEC vs fully-dynamic, per subject.
+
+    The gate is twofold: the hybrid run must eliminate a nonzero share of
+    access events, and its PSEC sets digest must be byte-identical to the
+    fully-dynamic run — static verdicts are only admissible if they are
+    indistinguishable from profiling.
+    """
+    rows: List[Dict[str, object]] = []
+    for subject, source, mode in (
+        ("scalar_loop", _PRESCREEN_SCALAR_SOURCE, "safe"),
+        ("array_walk", _VM_ROI_SOURCE, "aggressive"),
+    ):
+        dynamic = compile_carmot(source, name=f"prescreen_{subject}")
+        _, dyn_rt = dynamic.run()
+        hybrid = compile_carmot(source, name=f"prescreen_{subject}",
+                                options=CarmotOptions(prescreen=mode))
+        _, hyb_rt = hybrid.run()
+        facts = hybrid.module.static_facts
+        dyn_events = dyn_rt.stats.access_events
+        hyb_events = hyb_rt.stats.access_events
+        eliminated = (round(100.0 * (1.0 - hyb_events / dyn_events), 1)
+                      if dyn_events else 0.0)
+        rows.append({
+            "subject": subject,
+            "mode": mode,
+            "static_facts": len(facts) if facts else 0,
+            "probes_stripped": hybrid.report.static_suppressed_probes,
+            "access_events_dynamic": dyn_events,
+            "access_events_hybrid": hyb_events,
+            "static_probe_events": hyb_rt.stats.static_probe_events,
+            "events_eliminated_pct": eliminated,
+            "digest_dynamic": _digest(dyn_rt),
+            "digest_hybrid": _digest(hyb_rt),
+            "digest_identical": _digest(dyn_rt) == _digest(hyb_rt),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -614,6 +685,12 @@ def run_bench(
         and vm_row["speedup_x"] >= vm_min_speedup
     )
 
+    prescreen_rows = _measure_prescreen()
+    prescreen_ok = all(
+        row["digest_identical"] and row["events_eliminated_pct"] > 0
+        for row in prescreen_rows
+    )
+
     recovery_row = _measure_proc_recovery(seed, batch_size=256,
                                           invocation_len=invocation_len)
     procs_digest_equal = all(
@@ -661,9 +738,17 @@ def run_bench(
         "procs_digest_equal": procs_digest_equal,
         "procs_recovery_ok": recovery_row["recovered"],
         "procs_ok": procs_ok,
+        "prescreen_eliminated_pct": {
+            row["subject"]: row["events_eliminated_pct"]
+            for row in prescreen_rows
+        },
+        "prescreen_digest_identical": all(
+            row["digest_identical"] for row in prescreen_rows
+        ),
+        "prescreen_ok": prescreen_ok,
         "passed": bool(
             digests_match and best_speedup >= min_speedup and cache_ok
-            and vm_ok and procs_ok
+            and vm_ok and procs_ok and prescreen_ok
         ),
     }
     return {
@@ -679,6 +764,7 @@ def run_bench(
         "workloads": workload_rows,
         "cache": cache_rows,
         "vm_dispatch": vm_row,
+        "prescreen": prescreen_rows,
         "proc_recovery": recovery_row,
         "checks": checks,
     }
@@ -742,6 +828,26 @@ def render_bench(report: Dict[str, object]) -> str:
         f"{'match' if vm['psec_digest_identical'] else 'DIVERGE'}, "
         f"codegen warm hit={'yes' if vm['codegen_warm_hit'] else 'NO'})"
     )
+    prows = [
+        (r["subject"], r["mode"], r["static_facts"], r["probes_stripped"],
+         r["access_events_dynamic"], r["access_events_hybrid"],
+         f"{r['events_eliminated_pct']:.1f}%",
+         "yes" if r["digest_identical"] else "NO")
+        for r in report["prescreen"]
+    ]
+    lines.append("")
+    lines.append(render_table(
+        "Prescreen (hybrid static+dynamic vs fully-dynamic PSEC)",
+        ["subject", "mode", "facts", "stripped", "events_dyn",
+         "events_hyb", "eliminated", "identical"],
+        prows,
+    ))
+    for r in report["prescreen"]:
+        lines.append(
+            f"prescreen: {r['subject']} ({r['mode']}) eliminated "
+            f"{r['events_eliminated_pct']:.1f}% of access events "
+            f"(digests {'match' if r['digest_identical'] else 'DIVERGE'})"
+        )
     rec = report["proc_recovery"]
     lines.append("")
     lines.append(
@@ -768,6 +874,7 @@ def render_bench(report: Dict[str, object]) -> str:
         f"procs digest_equal={checks['procs_digest_equal']} "
         f"recovery={checks['procs_recovery_ok']} "
         f"speedup {checks['procs_speedup']:.2f}x"
-        f"{' (gated)' if checks['procs_speedup_gated'] else ' (report-only)'})"
+        f"{' (gated)' if checks['procs_speedup_gated'] else ' (report-only)'}"
+        f", prescreen_ok={checks['prescreen_ok']})"
     )
     return "\n".join(lines)

@@ -29,8 +29,9 @@ class UnknownPassError(ReproError):
 #: Version of the pass registry's *semantics*: bump when a registered
 #: pass changes behaviour without changing its name, so pipeline cache
 #: keys derived from :func:`registry_fingerprint` stop matching old
-#: artifacts.
-REGISTRY_VERSION = 1
+#: artifacts.  2: prescreen-aware planning (fixed-classification and
+#: aggregation skip statically-claimed PSEs).
+REGISTRY_VERSION = 2
 
 
 _PASSES: Dict[str, Type[Pass]] = {}
@@ -85,6 +86,15 @@ def _unknown_message(name: str) -> str:
     )
 
 
+def _unknown_negation_message(target: str, token: str) -> str:
+    """FaultPlan.parse-style message for ``-name`` with an unknown name."""
+    return (
+        f"unknown pass {target!r} in negation {token!r} "
+        f"(choose from registered passes {registered_pass_names()} "
+        f"or aliases {registered_alias_names()})"
+    )
+
+
 def _ensure_registered() -> None:
     """The compiler module registers its passes at import time; make sure
     that happened before answering registry queries."""
@@ -116,9 +126,10 @@ def parse_pipeline(text: Union[str, Sequence[str]]) -> List[str]:
 
     ``text`` may already be a sequence of names (validated as-is).  In
     textual form, entries are comma-separated; an alias expands in place;
-    ``-name`` removes every earlier occurrence of ``name`` (which must be
-    a registered pass).  Unknown entries raise :class:`UnknownPassError`
-    listing the registered names.
+    ``-name`` removes every earlier occurrence of ``name`` (a registered
+    pass, or an alias — which removes every pass in its expansion).
+    Unknown entries raise :class:`UnknownPassError` listing the
+    registered names.
     """
     _ensure_registered()
     if isinstance(text, str):
@@ -129,9 +140,15 @@ def parse_pipeline(text: Union[str, Sequence[str]]) -> List[str]:
     for token in tokens:
         if token.startswith("-"):
             target = token[1:]
-            if target not in _PASSES:
-                raise UnknownPassError(_unknown_message(target))
-            result = [n for n in result if n != target]
+            if target in _PASSES:
+                result = [n for n in result if n != target]
+            elif target in _ALIASES:
+                removed = set(_ALIASES[target])
+                result = [n for n in result if n not in removed]
+            else:
+                raise UnknownPassError(
+                    _unknown_negation_message(target, token)
+                )
         elif token in _ALIASES:
             result.extend(_ALIASES[token])
         elif token in _PASSES:

@@ -236,17 +236,24 @@ def profile_digest(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def psec_sets_digest(psecs: Dict[int, Psec]) -> str:
-    """Digest of just the four Sets per ROI — the byte-identity gate used
-    by bench warm/cold comparisons and the differential cache tests."""
-    doc = {
+def psec_sets_doc(psecs: Dict[int, Psec]) -> Dict:
+    """Canonical JSON view of just the four Sets per ROI (the
+    :func:`psec_sets_digest` material; also what ``psec --json`` prints
+    so CI can byte-diff hybrid vs dynamic runs)."""
+    return {
         str(roi_id): {
             name: [list(map(str, key)) for key in keys]
             for name, keys in psec.sets().items()
         }
         for roi_id, psec in sorted(psecs.items())
     }
-    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def psec_sets_digest(psecs: Dict[int, Psec]) -> str:
+    """Digest of just the four Sets per ROI — the byte-identity gate used
+    by bench warm/cold comparisons and the differential cache tests."""
+    payload = json.dumps(psec_sets_doc(psecs), sort_keys=True,
+                         separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence
 from repro._version import (
     BYTECODE_SCHEMA_VERSION,
     IR_SCHEMA_VERSION,
+    PRESCREEN_SCHEMA_VERSION,
     PROFILE_SCHEMA_VERSION,
     STORE_VERSION,
 )
@@ -49,6 +50,7 @@ def environment_fingerprint() -> Dict[str, object]:
         "ir_schema": IR_SCHEMA_VERSION,
         "profile_schema": PROFILE_SCHEMA_VERSION,
         "bytecode_schema": BYTECODE_SCHEMA_VERSION,
+        "prescreen_schema": PRESCREEN_SCHEMA_VERSION,
         "store": STORE_VERSION,
     }
 
@@ -84,6 +86,19 @@ def pipeline_key(
         "options": options_doc,
         "registry": registry_fingerprint(),
     })
+
+
+def prescreen_key(pipeline_key: str) -> str:
+    """Key of the prescreen static-facts sidecar.
+
+    Keyed on the *pipeline stage key* (not the IR content digest): the
+    facts are a byproduct of exactly that pipeline run, and the pairing
+    must be exact — a ``probe.static`` whose ``fact_index`` resolves
+    against a foreign sidecar would silently force wrong Sets.  The
+    environment fingerprint already carries
+    :data:`~repro._version.PRESCREEN_SCHEMA_VERSION`.
+    """
+    return _digest("prescreen", {"pipeline": pipeline_key})
 
 
 def codegen_key(ir_digest: str) -> str:

@@ -35,11 +35,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.compiler.carmot import CarmotBuildInfo, CarmotOptions
+from repro.compiler.carmot import (
+    CarmotBuildInfo,
+    CarmotOptions,
+    carmot_pass_names,
+)
 from repro.compiler.driver import BuildMode, CompiledProgram
 from repro.compiler.driver import frontend as live_frontend
 from repro.compiler.driver import _resolve_abstraction
+from repro.compiler.prescreen import StaticFacts
 from repro.errors import ReproError
+from repro.ir.instructions import ProbeStatic
 from repro.ir.module import Module
 from repro.ir.serialize import (
     IRSerializeError,
@@ -69,10 +75,22 @@ from repro.vm.codegen import lower_module
 from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
 
 #: Stage names, in flow order (parse/lower share the frontend artifact,
-#: pass-pipeline/instrument share the pipeline artifact, lowering owns
+#: pass-pipeline/instrument share the pipeline artifact, the prescreen
+#: static-facts sidecar rides with the pipeline artifact, lowering owns
 #: the bytecode artifact, and execute/characterize share the profile
-#: artifact).
-STAGES = ("frontend", "pipeline", "codegen", "profile")
+#: artifact).  The ``prescreen`` stage only appears in ``stages`` when
+#: the compiled module carries ``probe.static`` instructions.
+STAGES = ("frontend", "pipeline", "prescreen", "codegen", "profile")
+
+
+def _needs_static_facts(module: Module) -> bool:
+    """True when the module carries ``probe.static`` instructions (and so
+    cannot be profiled without its prescreen sidecar)."""
+    return any(
+        isinstance(instr, ProbeStatic)
+        for function in module.functions.values()
+        for instr in function.instructions()
+    )
 
 
 @dataclass
@@ -151,7 +169,13 @@ class Session:
         name: str = "program",
     ) -> CompileResult:
         """The session analogue of ``compile_pipeline``."""
-        names = parse_pipeline(pipeline)
+        if pipeline == "carmot" and options is not None:
+            # The bare alias is frozen at default options; expand it from
+            # the caller's options instead (``compile_carmot`` parity) so
+            # option-gated passes like prescreen actually run.
+            names = list(carmot_pass_names(options))
+        else:
+            names = parse_pipeline(pipeline)
         module, frontend_digest, frontend_stage = self.frontend(source, name)
         if "naive-instrument" in names:
             mode = BuildMode.NAIVE
@@ -167,17 +191,38 @@ class Session:
         key = keys.pipeline_key(
             frontend_digest, names, abstraction, keys._jsonable(options)
         )
+        facts_key = keys.prescreen_key(key)
         payload = self.store.get(key) if self.store else None
         compiled: Optional[Module] = None
         build_info = None
         instrument_report = None
         pass_report = None
+        prescreen_stage: Optional[str] = None
         if payload is not None:
             try:
                 compiled = deserialize_module(payload)
                 pipeline_stage = "hit"
             except IRSerializeError:
                 payload = None
+            else:
+                if _needs_static_facts(compiled):
+                    # The IR artifact is unusable without its sidecar: a
+                    # missing/corrupt facts artifact demotes the whole
+                    # pipeline stage to a miss rather than crashing at
+                    # probe.static resolution time.
+                    facts_payload = (
+                        self.store.get(facts_key) if self.store else None
+                    )
+                    try:
+                        if facts_payload is None:
+                            raise ReproError("missing prescreen sidecar")
+                        compiled.static_facts = StaticFacts.deserialize(
+                            facts_payload
+                        )
+                        prescreen_stage = "hit"
+                    except ReproError:
+                        compiled = None
+                        payload = None
         if compiled is None:
             build_info = (
                 CarmotBuildInfo(options=options)
@@ -193,7 +238,15 @@ class Session:
             payload = serialize_module(module)
             if self.store is not None:
                 self.store.put(key, payload, "ir")
+            facts = module.static_facts
             compiled = deserialize_module(payload)
+            if facts is not None:
+                facts_payload = facts.serialize()
+                if self.store is not None:
+                    self.store.put(facts_key, facts_payload, "prescreen")
+                # Normalize through the artifact (see module docstring).
+                compiled.static_facts = StaticFacts.deserialize(facts_payload)
+                prescreen_stage = "miss"
             pipeline_stage = "miss"
         program = CompiledProgram(
             compiled, mode, policy=policy,
@@ -201,10 +254,13 @@ class Session:
             build_info=build_info, report=instrument_report,
             pass_report=pass_report,
         )
+        stages = {"frontend": frontend_stage, "pipeline": pipeline_stage}
+        if prescreen_stage is not None:
+            stages["prescreen"] = prescreen_stage
         return CompileResult(
             program=program,
             ir_digest=payload_digest(payload),
-            stages={"frontend": frontend_stage, "pipeline": pipeline_stage},
+            stages=stages,
         )
 
     # -- stage: bytecode lowering --------------------------------------------

@@ -69,6 +69,7 @@ from repro.vm.bytecode import (
     OP_PROBE_ACCESS,
     OP_PROBE_CLASSIFY,
     OP_PROBE_ESCAPE,
+    OP_PROBE_STATIC,
     OP_REM,
     OP_RET,
     OP_ROI_BEGIN,
@@ -327,8 +328,12 @@ class BytecodeInterpreter:
                     print(f"trace: [{ic}] {fn.name}+{pc} {OPCODE_NAMES[op]}",
                           file=trace)
                 # Three-way dispatch tree, hot paths shallow: arithmetic
-                # first (all binops share the high opcode range), then the
+                # first (the binops occupy the top of the original opcode
+                # range, so a single compare guards them), then the
                 # memory/control group, then calls/probes/markers.
+                # Opcodes appended above the binops land in the first
+                # arm's else — rare ones only, the hot guard stays one
+                # compare.
                 if op >= OP_ADD:
                     if op == OP_ADD:
                         regs[code[pc + 1]] = (
@@ -438,6 +443,14 @@ class BytecodeInterpreter:
                             int(regs[code[pc + 2]])
                             >> (int(regs[code[pc + 3]]) & 63))
                         cost += arith
+                        pc += 4
+                    elif op == OP_PROBE_STATIC:
+                        addr = int(regs[code[pc + 1]])
+                        self.instructions = ic
+                        self.cost = cost
+                        cost += hooks.on_probe_static(
+                            code[pc + 3], addr, code[pc + 2],
+                        )
                         pc += 4
                     else:
                         raise VMError(f"unknown opcode {op} at {fn.name}+{pc}")

@@ -36,6 +36,7 @@ from repro.ir.instructions import (
     ProbeAccess,
     ProbeClassify,
     ProbeEscape,
+    ProbeStatic,
     Ret,
     RoiBegin,
     RoiEnd,
@@ -326,6 +327,11 @@ class Interpreter:
                 self.cost += self.hooks.on_probe_classify(
                     instr.states, addr, instr.size, instr.var, count,
                     instr.stride, instr.loc, instr.roi_id, instr.site_id,
+                )
+            elif kind is ProbeStatic:
+                addr = int(self._value(frame, instr.ptr))
+                self.cost += self.hooks.on_probe_static(
+                    instr.fact_index, addr, instr.roi_id,
                 )
             elif kind is ProbeEscape:
                 value = int(self._value(frame, instr.value))

@@ -1,0 +1,1 @@
+"""Shared test helpers (not themselves test modules)."""

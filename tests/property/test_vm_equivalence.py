@@ -7,8 +7,6 @@ engines must produce byte-identical profiles, equal run results, and the
 same failure at the same virtual step.
 """
 
-import json
-import random
 from pathlib import Path
 
 import pytest
@@ -18,6 +16,7 @@ from repro.errors import BudgetExceeded
 from repro.resilience import FaultPlan, ResiliencePolicy
 from repro.resilience.budgets import ExecutionBudgets
 from repro.runtime.psec_json import serialize_profile
+from tests.helpers.progen import random_program as _random_program
 
 REPO = Path(__file__).resolve().parents[2]
 EXAMPLES = ["roi_loop", "stencil_calls", "anneal_stats"]
@@ -58,53 +57,7 @@ def test_naive_mode_identical_across_engines(name):
     assert payloads["ir"] == payloads["bytecode"]
 
 
-# -- seeded random programs ---------------------------------------------------
-
-
-def _random_program(seed: int) -> str:
-    """A seeded random MiniC program: scalar arithmetic with data-dependent
-    control flow, array walks, helper calls, and recursion — enough
-    surface to shake out operand-slot, phi, and call-lowering bugs."""
-    rng = random.Random(seed)
-    n = rng.randint(20, 60)
-    mod = rng.choice([7, 11, 13, 17])
-    mul = rng.choice([3, 5, 9])
-    cmp_op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
-    bin_op = rng.choice(["&", "|", "^"])
-    shift = rng.randint(1, 5)
-    rec_depth = rng.randint(3, 9)
-    return f"""
-int helper(int v) {{
-    if (v {cmp_op} {rng.randint(0, 40)}) {{
-        return v * {mul} + 1;
-    }}
-    return v - {rng.randint(1, 5)};
-}}
-int rec(int d, int acc) {{
-    if (d <= 0) {{ return acc; }}
-    return rec(d - 1, acc + d * {rng.randint(1, 4)});
-}}
-int main() {{
-    int a[{n}];
-    int i;
-    int acc = {rng.randint(0, 9)};
-    float f = {rng.randint(1, 9)}.5;
-    for (i = 0; i < {n}; ++i) {{
-        a[i] = helper(i) % {mod};
-        acc = acc + a[i];
-        if (acc % 2 == 0) {{
-            acc = acc {bin_op} (i << {shift});
-        }} else {{
-            acc = acc - (a[i] >> 1);
-        }}
-        f = f + 0.25;
-    }}
-    acc = acc + rec({rec_depth}, 0);
-    print_int(acc % 100000);
-    print_float(f);
-    return acc % 100;
-}}
-"""
+# -- seeded random programs (generator shared via tests.helpers.progen) -------
 
 
 @pytest.mark.parametrize("seed", range(12))

@@ -119,6 +119,128 @@ class TestLoops:
         assert match_trip_count(fn, loops[0], None) is None
 
 
+class TestTripCountFacts:
+    """Induction/trip-count facts the prescreen pass builds on: starts,
+    inclusive bounds, the induction-slot filter, and the recognised
+    shapes of the golden example kernels."""
+
+    def test_nonzero_start(self):
+        module = frontend(
+            "int main() { int s = 0; for (int i = 3; i < 10; ++i) s += i;"
+            " return s; }"
+        )
+        fn = module.functions["main"]
+        trip = match_trip_count(fn, find_loops(fn)[0], None)
+        assert trip is not None
+        assert trip.start == 3
+        assert trip.bound_const == 10
+        assert trip.constant_trips == 7
+
+    def test_le_bound_counts_inclusive(self):
+        module = frontend(
+            "int main() { int s = 0; for (int i = 0; i <= 9; ++i) s += i;"
+            " return s; }"
+        )
+        fn = module.functions["main"]
+        trip = match_trip_count(fn, find_loops(fn)[0], None)
+        assert trip is not None
+        assert trip.bound_const == 10
+        assert trip.constant_trips == 10
+
+    def test_le_loaded_bound_rejected(self):
+        module = frontend(
+            """
+            int f(int n) {
+              int s = 0;
+              for (int i = 0; i <= n; ++i) s += i;
+              return s;
+            }
+            """
+        )
+        fn = module.functions["f"]
+        assert match_trip_count(fn, find_loops(fn)[0], None) is None
+
+    def test_non_constant_init_rejected(self):
+        module = frontend(
+            """
+            int f(int n) {
+              int s = 0;
+              for (int i = n; i < 10; ++i) s += i;
+              return s;
+            }
+            """
+        )
+        fn = module.functions["f"]
+        assert match_trip_count(fn, find_loops(fn)[0], None) is None
+
+    def test_conflicting_init_stores_rejected(self):
+        module = frontend(
+            """
+            int f(int c) {
+              int i;
+              i = 0;
+              if (c) { i = 2; }
+              while (i < 5) { i = i + 1; }
+              return i;
+            }
+            """
+        )
+        fn = module.functions["f"]
+        assert match_trip_count(fn, find_loops(fn)[0], None) is None
+
+    def _golden(self, name):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "examples" / name
+        return frontend(path.read_text(), name)
+
+    def test_golden_roi_loop_trip_counts(self):
+        module = self._golden("roi_loop.mc")
+        fn = module.functions["main"]
+        loops = find_loops(fn)  # sorted outermost-first
+        assert len(loops) == 2
+        outer, inner = loops
+        assert match_trip_count(fn, outer, None).constant_trips == 8
+        assert match_trip_count(fn, inner, None).constant_trips == 16
+
+    def test_golden_roi_loop_induction_slot_filter(self):
+        module = self._golden("roi_loop.mc")
+        fn = module.functions["main"]
+        outer, inner = find_loops(fn)
+        # The ROI wraps the r-loop body, so its induction_var is `r` —
+        # the slot that governs the *outer* loop.
+        ind_var = module.rois[0].induction_var
+        assert ind_var is not None and ind_var.name == "r"
+        slot = fn.var_allocas[ind_var.uid].result
+        trip = match_trip_count(fn, outer, slot)
+        assert trip is not None
+        assert trip.induction_alloca is slot
+        # The inner loop walks `i`, not `r`: the filter must reject it.
+        assert match_trip_count(fn, inner, slot) is None
+
+    def test_golden_stencil_loaded_bound(self):
+        module = self._golden("stencil_calls.mc")
+        fn = module.functions["main"]
+        loops = find_loops(fn)
+        trips = [match_trip_count(fn, loop, None) for loop in loops]
+        assert all(t is not None for t in trips)
+        # The t-loop is the only constant-trip loop; both i-loops reload
+        # the `limit` slot as their bound.
+        consts = [t.constant_trips for t in trips if t.bound_const]
+        loaded = [t for t in trips if t.bound_const is None]
+        assert consts == [4]
+        assert len(loaded) == 2
+        assert all(t.bound_addr is not None for t in loaded)
+
+    def test_golden_stencil_checksum_parameter_bound(self):
+        module = self._golden("stencil_calls.mc")
+        fn = module.functions["checksum"]
+        trip = match_trip_count(fn, find_loops(fn)[0], None)
+        assert trip is not None
+        assert trip.bound_const is None
+        assert trip.bound_addr is not None
+
+
 ROI_SOURCE = """
 int work(int a) {
   int x = 0; int y = 0;
