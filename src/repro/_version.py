@@ -8,7 +8,7 @@ cache key derived from it changes with it (stale entries are simply
 never looked up again — see :mod:`repro.session.keys`).
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Format version of serialized IR modules (:mod:`repro.ir.serialize`).
 IR_SCHEMA_VERSION = 1
@@ -18,8 +18,10 @@ IR_SCHEMA_VERSION = 1
 PROFILE_SCHEMA_VERSION = 1
 
 #: Format version of serialized register bytecode
-#: (:mod:`repro.vm.bytecode`).
-BYTECODE_SCHEMA_VERSION = 1
+#: (:mod:`repro.vm.bytecode`).  v2: tier-2 superinstructions — fused
+#: cmp+branch / load+binop / binop+store / probe+access opcodes appear in
+#: canonical code streams, so v1 artifacts must never be decoded as v2.
+BYTECODE_SCHEMA_VERSION = 2
 
 #: Layout version of the on-disk artifact store
 #: (:mod:`repro.session.store`).

@@ -10,6 +10,9 @@ Subcommands:
 - ``psec``      — print the raw Sets of every ROI;
 - ``overhead``  — compare baseline/naive/CARMOT cost on the program;
 - ``ir``        — dump the (optionally instrumented) IR;
+- ``dis``       — disassemble the lowered register bytecode (fused sites
+  marked; ``--quicken-report`` additionally runs the program and reports
+  the runtime-quickened sites);
 - ``bench``     — runtime hot-path benchmark, writes ``BENCH_runtime.json``;
 - ``cache``     — artifact-cache maintenance (stats/clear/verify).
 
@@ -127,11 +130,34 @@ def _print_cache_stages(args: argparse.Namespace, stages) -> None:
         print(f"cache: {summary}", file=sys.stderr)
 
 
+def _print_tier2_stats(program: CompiledProgram) -> None:
+    """Codegen fusion + runtime quickening counters, one greppable line.
+
+    Fusion is a canonical-stream property; quickened/dequickened counts
+    are only non-zero once the execution streams have been warmed (i.e.
+    after the program ran on the bytecode engine).
+    """
+    from repro.vm.bytecode import fused_site_counts, quickened_op_count
+
+    bc = getattr(program, "bytecode", None) \
+        or getattr(program.module, "_bytecode", None)
+    if bc is None:
+        return
+    fused = fused_site_counts(bc)
+    print(f"tier2: fused_sites={fused['total']} "
+          f"(cmp_br={fused['cmp_br']} load_bin={fused['load_bin']} "
+          f"bin_store={fused['bin_store']} "
+          f"probe_access={fused['probe_access']}) "
+          f"quickened_ops={quickened_op_count(bc)} "
+          f"dequicken_count={bc.dequicken_count}")
+
+
 def _maybe_print_pass_stats(args: argparse.Namespace,
                             program: CompiledProgram) -> None:
     if getattr(args, "print_pass_stats", False) \
             and program.pass_report is not None:
         print(program.pass_report.render())
+        _print_tier2_stats(program)
         print()
 
 
@@ -266,6 +292,40 @@ def _cmd_ir(args: argparse.Namespace) -> int:
         _print_cache_stages(args, compiled.stages)
         module = compiled.program.module
     print(module)
+    return 0
+
+
+def _cmd_dis(args: argparse.Namespace) -> int:
+    from repro.vm.bytecode import dequicken_module, disassemble
+
+    source = _read(args.file)
+    session = _session_for(args)
+    pipeline = args.passes if getattr(args, "passes", None) else args.mode
+    compiled = session.compile(source, pipeline, args.abstraction,
+                               options=_carmot_options(args), name=args.file)
+    program = compiled.program
+    stages = dict(compiled.stages)
+    stages["codegen"] = session.codegen(program, compiled.ir_digest)
+    _maybe_print_pass_stats(args, program)
+    _print_cache_stages(args, stages)
+    bytecode = program.bytecode
+    if args.quicken_report:
+        # Run once on the bytecode engine so quickenable sites are
+        # rewritten, disassemble with the report markers, then restore
+        # the canonical execution streams.  The listing itself always
+        # renders the canonical stream — it is byte-identical before
+        # and after the run.
+        try:
+            program.run(vm="bytecode", entry=args.entry,
+                        **_run_kwargs(args))
+        except ReproError as error:
+            print(f"note: run aborted ({error}); quickening still "
+                  f"reflects every function that was entered",
+                  file=sys.stderr)
+        print(disassemble(bytecode, quicken_report=True))
+        dequicken_module(bytecode)
+    else:
+        print(disassemble(bytecode))
     return 0
 
 
@@ -439,9 +499,35 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["plain", "baseline", "naive", "carmot"])
     ir.set_defaults(func=_cmd_ir)
 
+    dis = sub.add_parser(
+        "dis", help="disassemble the lowered register bytecode"
+    )
+    common(dis)
+    dis.add_argument("--mode", default="carmot",
+                     choices=["baseline", "naive", "carmot"],
+                     help="pipeline to lower before disassembling "
+                          "(default: carmot, the instrumented build)")
+    dis.add_argument(
+        "--quicken-report", action="store_true",
+        help="run the program on the bytecode engine first and annotate "
+             "every site the interpreter quickened (the listing itself "
+             "stays canonical: quickened code never leaves the execution "
+             "stream)",
+    )
+    dis.set_defaults(func=_cmd_dis)
+
     bench = sub.add_parser(
         "bench",
         help="runtime hot-path benchmark (packed vs object encodings)",
+        epilog="Gates: --min-speedup covers the packed-vs-object stream "
+               "legs; --vm-min-speedup (default 3.5) covers the "
+               "vm_dispatch leg — the tier-2 bytecode engine vs the IR "
+               "tree-walk oracle, with byte-identical PSEC digests "
+               "required and fused_sites/quickened_ops/dequicken_count "
+               "reported on the vm_tier2 line; --proc-min-speedup covers "
+               "the packed_procs drain leg (report-only by default). "
+               "Every stream leg of the JSON report embeds its drain "
+               "meta (workers, batches, respawns, replays).",
     )
     bench.add_argument("--quick", action="store_true",
                        help="smaller streams and one workload (CI smoke)")
@@ -452,11 +538,13 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="X",
                        help="fail unless the best packed-vs-object stream "
                             "speedup reaches X (and all digests match)")
-    bench.add_argument("--vm-min-speedup", type=float, default=2.0,
+    bench.add_argument("--vm-min-speedup", type=float, default=3.5,
                        metavar="X",
-                       help="fail unless the bytecode VM beats the IR "
-                            "tree-walk by X on the dispatch workload "
-                            "(with byte-identical PSEC digests)")
+                       help="fail unless the tier-2 bytecode VM beats the "
+                            "IR tree-walk by X on the dispatch workload "
+                            "(with byte-identical PSEC digests); default "
+                            "3.5 — pass a lower floor on noisy shared "
+                            "runners")
     bench.add_argument("--proc-min-speedup", type=float, default=0.0,
                        metavar="X",
                        help="fail unless the packed_procs leg beats the "
@@ -485,7 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Default subcommand: treat `repro foo.mc` as `repro recommend foo.mc`.
-    known = {"recommend", "psec", "overhead", "ir", "bench", "cache",
+    known = {"recommend", "psec", "overhead", "ir", "dis", "bench", "cache",
              "-h", "--help", "--version"}
     if argv and argv[0] not in known:
         argv.insert(0, "recommend")

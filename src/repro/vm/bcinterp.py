@@ -1,15 +1,41 @@
-"""The bytecode dispatch engine.
+"""The tier-2 bytecode dispatch engine.
 
 Executes a lowered :class:`~repro.vm.bytecode.BytecodeModule` with a flat
-while-loop over the ``array('q')`` code stream: integer opcodes, operand
-slots into a per-frame register list, and pre-resolved branch/call targets.
-Exactly the same observable semantics as the tree-walk
-:class:`~repro.vm.interpreter.Interpreter` — same cost model charges, same
-instruction counting (and therefore identical ``BudgetExceeded`` trip
-points), same :class:`~repro.vm.hooks.ExecutionHooks` call sequence with
-the same arguments, same trap messages — just without per-step object
-inspection.  ``tests/property/test_vm_equivalence.py`` holds the two
-engines equal instruction-for-instruction.
+while-loop over a per-function *execution stream*: integer opcodes,
+operand slots into a per-frame register list, and pre-resolved
+branch/call targets.  Exactly the same observable semantics as the
+tree-walk :class:`~repro.vm.interpreter.Interpreter` — same cost model
+charges, same instruction counting (and therefore identical
+``BudgetExceeded`` trip points), same
+:class:`~repro.vm.hooks.ExecutionHooks` call sequence with the same
+arguments, same trap messages — just without per-step object inspection.
+``tests/property/test_vm_equivalence.py`` holds the two engines equal
+instruction-for-instruction.
+
+Tier-2 structure (see DESIGN.md §12):
+
+- **Superinstructions** arrive pre-fused from codegen (cmp+branch,
+  load+binop, binop+store, probe+access).  A fused opcode executes both
+  halves with the *same* instruction counting and budget check between
+  them as the unfused pair, so trip points and trap-time state never
+  move.
+- **Quickening.**  The first time a function is entered, ``_quicken``
+  walks its canonical stream and rewrites eligible sites of the
+  execution stream (``fn.xcode``, a plain-list mirror built at link
+  time) in place: const-operand binops and fused compare-branches
+  become immediate forms, single-predecessor phi trampolines become
+  ``OP_PHI_Q1``, and indirect calls through constant function pointers
+  pre-resolve their target.  The canonical ``array('q')`` stream
+  (``fn.code``) is never touched, so serialization, digests, and
+  disassembly cannot observe quickened code;
+  :func:`~repro.vm.bytecode.dequicken_module` restores the execution
+  streams from it.
+- **Flattened dispatch.**  The hot opcodes run in a shallow inline
+  chain; everything else dispatches through a dense handler table (a
+  list indexed by opcode) of per-opcode closures with pre-bound locals.
+  The interpreter state is spilled before a table handler runs and the
+  ``cost`` local is reloaded after, so the hook-spill contract holds at
+  exactly the opcodes that can reach hooks.
 
 Hot-loop discipline: ``instructions``/``cost`` live in locals and are
 spilled to the interpreter attributes
@@ -17,7 +43,8 @@ spilled to the interpreter attributes
 - before every hook invocation (hooks read ``vm.instructions`` as event
   time and may read ``vm.cost``),
 - around builtin calls (builtin impls *mutate* ``vm.cost`` through
-  ``charge_bytes``/``heap_alloc``, so the local is reloaded after), and
+  ``charge_bytes``/``heap_alloc``, so the local is reloaded after),
+- around cold-table handlers (which mutate ``vm.cost`` directly), and
 - unconditionally in a ``finally`` so trap/budget exits leave the same
   state the tree-walk leaves.
 
@@ -42,51 +69,99 @@ from repro.vm.bytecode import (
     BytecodeModule,
     OPCODE_NAMES,
     OP_ADD,
+    OP_ADD_QI,
     OP_ADDR,
     OP_ALLOCA,
     OP_AND,
+    OP_BIN_STORE,
     OP_BR,
     OP_CALL,
     OP_CALL_BUILTIN,
     OP_CALL_IND,
+    OP_CALL_IND_QB,
+    OP_CALL_IND_QF,
     OP_CALL_MISSING,
     OP_CAST,
     OP_DIV,
+    OP_DIV_QI,
     OP_EQ,
+    OP_EQ_BR,
+    OP_EQ_BR_QI,
     OP_GE,
+    OP_GE_BR,
+    OP_GE_BR_QI,
     OP_GT,
+    OP_GT_BR,
+    OP_GT_BR_QI,
     OP_JUMP,
+    OP_JUMP_PHI,
     OP_LE,
+    OP_LE_BR,
+    OP_LE_BR_QI,
     OP_LOAD,
+    OP_LOAD_BIN,
     OP_LT,
+    OP_LT_BR,
+    OP_LT_BR_QI,
     OP_MUL,
+    OP_MUL_QI,
     OP_NE,
+    OP_NE_BR,
+    OP_NE_BR_QI,
     OP_OMP_BARRIER,
     OP_OMP_BEGIN,
     OP_OMP_END,
     OP_OR,
     OP_PHI,
+    OP_PHI_Q1,
     OP_PROBE_ACCESS,
     OP_PROBE_CLASSIFY,
     OP_PROBE_ESCAPE,
+    OP_PROBE_LOAD,
     OP_PROBE_STATIC,
+    OP_PROBE_STORE,
     OP_REM,
+    OP_REM_QI,
     OP_RET,
     OP_ROI_BEGIN,
     OP_ROI_END,
     OP_ROI_RESET,
+    OP_RSUB_QI,
     OP_SHL,
     OP_SHR,
     OP_STORE,
     OP_SUB,
+    OP_SUB_QI,
     OP_XOR,
+    QUICKEN_CMP_BR_OFFSET,
+    QUICKENED_BINOPS,
     TY_CHAR,
     TY_FLOAT,
+    instr_width,
 )
 from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.vm.hooks import ExecutionHooks
 from repro.vm.interpreter import RunResult
 from repro.vm.memory import FUNC_PTR_BASE, Memory, MemoryObject
+
+#: Sub-operation evaluators for the fused load+binop / binop+store
+#: opcodes (the fusion catalog excludes div/rem, so none of these trap).
+_BIN_EVAL = {
+    OP_ADD: lambda a, b: a + b,
+    OP_SUB: lambda a, b: a - b,
+    OP_MUL: lambda a, b: a * b,
+    OP_EQ: lambda a, b: 1 if a == b else 0,
+    OP_NE: lambda a, b: 1 if a != b else 0,
+    OP_LT: lambda a, b: 1 if a < b else 0,
+    OP_LE: lambda a, b: 1 if a <= b else 0,
+    OP_GT: lambda a, b: 1 if a > b else 0,
+    OP_GE: lambda a, b: 1 if a >= b else 0,
+    OP_AND: lambda a, b: int(a) & int(b),
+    OP_OR: lambda a, b: int(a) | int(b),
+    OP_XOR: lambda a, b: int(a) ^ int(b),
+    OP_SHL: lambda a, b: int(a) << (int(b) & 63),
+    OP_SHR: lambda a, b: int(a) >> (int(b) & 63),
+}
 
 
 class BytecodeInterpreter:
@@ -132,6 +207,7 @@ class BytecodeInterpreter:
         self._globals_addr = {}
         setattr(self.hooks, "vm", self)
         self._link()
+        self._cold_table = self._build_cold_table()
 
     # -- setup -------------------------------------------------------------
 
@@ -216,6 +292,102 @@ class BytecodeInterpreter:
          self._addr_targets) = bc._linked
         self._linked_functions = [bc.functions[name]
                                   for name in bc.function_order]
+        # The execution streams (shared by every interpreter over this
+        # module) mirror the canonical code; quickening rewrites them in
+        # place and dequicken_module restores them.
+        for fn in self._linked_functions:
+            if fn.xcode is None:
+                fn.xcode = list(fn.code)
+
+    # -- quickening --------------------------------------------------------
+
+    def _quicken(self, fn: BytecodeFunction) -> None:
+        """Rewrite the function's execution stream in place.
+
+        Walks the *canonical* stream (so re-quickening after a dequicken
+        sees original operands), patching ``fn.xcode`` where a site is
+        eligible.  Every quickened layout is word-for-word compatible
+        with its canonical form, so patches never move code.  Records
+        the patched sites on ``fn.quickened`` for dequickening and the
+        ``--quicken-report`` disassembly.
+        """
+        code = fn.code
+        xcode = fn.xcode
+        proto = fn.proto
+        arg_base = fn.arg_base
+        addr_targets = self._addr_targets
+        quick_targets = self.bytecode._quick_targets
+        sites = {}
+        pc = 0
+        n = len(code)
+        while pc < n:
+            op = code[pc]
+            qop = QUICKENED_BINOPS.get(op)
+            if qop is not None:
+                lhs = code[pc + 2]
+                rhs = code[pc + 3]
+                rhs_const = (rhs < arg_base
+                             and type(proto[rhs]) in (int, float))
+                lhs_const = (lhs < arg_base
+                             and type(proto[lhs]) in (int, float))
+                if op == OP_DIV or op == OP_REM:
+                    # Immediate forms skip the zero check, so only a
+                    # compile-time-nonzero int divisor is eligible.
+                    if (rhs_const and type(proto[rhs]) is int
+                            and proto[rhs] != 0):
+                        xcode[pc] = qop
+                        xcode[pc + 3] = proto[rhs]
+                        sites[pc] = qop
+                elif rhs_const:
+                    xcode[pc] = qop
+                    xcode[pc + 3] = proto[rhs]
+                    sites[pc] = qop
+                elif lhs_const:
+                    if op == OP_SUB:
+                        xcode[pc] = OP_RSUB_QI
+                        xcode[pc + 2] = proto[lhs]
+                        sites[pc] = OP_RSUB_QI
+                    elif op == OP_ADD or op == OP_MUL:
+                        # Commutative: swap the constant into the
+                        # immediate slot.
+                        xcode[pc] = qop
+                        xcode[pc + 2] = rhs
+                        xcode[pc + 3] = proto[lhs]
+                        sites[pc] = qop
+            elif OP_LT_BR <= op <= OP_NE_BR:
+                rhs = code[pc + 3]
+                if rhs < arg_base and type(proto[rhs]) in (int, float):
+                    qop = op + QUICKEN_CMP_BR_OFFSET
+                    xcode[pc] = qop
+                    xcode[pc + 3] = proto[rhs]
+                    sites[pc] = qop
+            elif op == OP_PHI:
+                if code[pc + 1] == 1:
+                    xcode[pc] = OP_PHI_Q1
+                    sites[pc] = OP_PHI_Q1
+            elif op == OP_JUMP:
+                # A jump straight onto a phi trampoline absorbs the
+                # trampoline into the jump's dispatch (targets are always
+                # intra-function).  The trampoline itself stays — fused
+                # cmp+branch edges may still enter it directly.
+                if code[code[pc + 1]] == OP_PHI:
+                    xcode[pc] = OP_JUMP_PHI
+                    sites[pc] = OP_JUMP_PHI
+            elif op == OP_CALL_IND:
+                slot = code[pc + 1]
+                if slot < arg_base and type(proto[slot]) is int:
+                    target = addr_targets.get(proto[slot])
+                    if target is not None:
+                        is_builtin, payload = target
+                        qop = (OP_CALL_IND_QB if is_builtin
+                               else OP_CALL_IND_QF)
+                        xcode[pc] = qop
+                        xcode[pc + 1] = len(quick_targets)
+                        quick_targets.append(payload)
+                        sites[pc] = qop
+            pc += instr_width(code, pc)
+        fn.quickened = sites if sites else None
+        fn.xquick = True
 
     # -- public API --------------------------------------------------------
 
@@ -223,6 +395,8 @@ class BytecodeInterpreter:
         fn = self.bytecode.functions.get(entry)
         if fn is None:
             raise VMError(f"no function named {entry!r}")
+        if not fn.xquick:
+            self._quicken(fn)
         regs = fn.proto.copy()
         arg_base = fn.arg_base
         for index, value in enumerate(args):
@@ -278,9 +452,240 @@ class BytecodeInterpreter:
     def _current_loc(self):
         return self._alloc_loc
 
+    # -- flattened dispatch table ------------------------------------------
+
+    def _build_cold_table(self) -> list:
+        """Dense opcode -> handler list for the cold opcodes.
+
+        Handlers are closures over the *immutable* per-run bindings
+        (tables, cost constants, hooks, memory) and receive the mutable
+        frame state as arguments; they return the next pc.  Contract
+        with the dispatch loop: the loop spills ``instructions``/``cost``
+        before the call and reloads ``cost`` after, handlers charge via
+        ``vm.cost`` (reading it *before* a hook runs, exactly like the
+        inline spill-then-charge pattern), and no handler changes the
+        instruction count.
+        """
+        vm = self
+        memory = self.memory
+        hooks = self.hooks
+        cm = self.cost_model
+        bc = self.bytecode
+        loc_table = bc.loc_table
+        var_table = bc.var_table
+        str_table = bc.string_table
+        arith = cm.arith
+        alloca_cost = cm.alloca
+        call_cost = cm.call
+        roi_cost = cm.roi_marker
+
+        def op_and(pc, code, regs, stack_objects, cs):
+            regs[code[pc + 1]] = (
+                int(regs[code[pc + 2]]) & int(regs[code[pc + 3]]))
+            vm.cost += arith
+            return pc + 4
+
+        def op_or(pc, code, regs, stack_objects, cs):
+            regs[code[pc + 1]] = (
+                int(regs[code[pc + 2]]) | int(regs[code[pc + 3]]))
+            vm.cost += arith
+            return pc + 4
+
+        def op_xor(pc, code, regs, stack_objects, cs):
+            regs[code[pc + 1]] = (
+                int(regs[code[pc + 2]]) ^ int(regs[code[pc + 3]]))
+            vm.cost += arith
+            return pc + 4
+
+        def op_shl(pc, code, regs, stack_objects, cs):
+            regs[code[pc + 1]] = (
+                int(regs[code[pc + 2]]) << (int(regs[code[pc + 3]]) & 63))
+            vm.cost += arith
+            return pc + 4
+
+        def op_shr(pc, code, regs, stack_objects, cs):
+            regs[code[pc + 1]] = (
+                int(regs[code[pc + 2]]) >> (int(regs[code[pc + 3]]) & 63))
+            vm.cost += arith
+            return pc + 4
+
+        def op_alloca(pc, code, regs, stack_objects, cs):
+            memory.clock = vm.instructions
+            var_index = code[pc + 3]
+            var = var_table[var_index] if var_index >= 0 else None
+            loc_index = code[pc + 4]
+            obj = memory.allocate(
+                code[pc + 2], "stack", var=var,
+                loc=loc_table[loc_index] if loc_index >= 0 else None,
+                callstack=cs,
+            )
+            stack_objects.append(obj)
+            regs[code[pc + 1]] = obj.base
+            c = vm.cost + alloca_cost
+            vm.cost = c
+            if var is not None:
+                vm.cost = c + hooks.on_alloc(obj)
+            return pc + 5
+
+        def op_call_missing(pc, code, regs, stack_objects, cs):
+            vm.cost += call_cost
+            raise TrapError(
+                f"call to undefined function {str_table[code[pc + 1]]!r}"
+            )
+
+        def op_roi_begin(pc, code, regs, stack_objects, cs):
+            vm.roi_depth += 1
+            c = vm.cost
+            vm.cost = c + roi_cost + hooks.on_roi_begin(code[pc + 1])
+            return pc + 2
+
+        def op_roi_end(pc, code, regs, stack_objects, cs):
+            vm.roi_depth -= 1
+            c = vm.cost
+            vm.cost = c + roi_cost + hooks.on_roi_end(code[pc + 1])
+            return pc + 2
+
+        def op_roi_reset(pc, code, regs, stack_objects, cs):
+            c = vm.cost
+            vm.cost = c + roi_cost + hooks.on_roi_reset(code[pc + 1])
+            return pc + 2
+
+        def op_probe_classify(pc, code, regs, stack_objects, cs):
+            addr = int(regs[code[pc + 2]])
+            count_slot = code[pc + 5]
+            count = 1 if count_slot < 0 else int(regs[count_slot])
+            var_index = code[pc + 4]
+            loc_index = code[pc + 7]
+            roi_id = code[pc + 8]
+            site_id = code[pc + 9]
+            c = vm.cost
+            vm.cost = c + hooks.on_probe_classify(
+                str_table[code[pc + 1]], addr, code[pc + 3],
+                var_table[var_index] if var_index >= 0 else None,
+                count, code[pc + 6],
+                loc_table[loc_index] if loc_index >= 0 else None,
+                roi_id if roi_id >= 0 else None,
+                site_id if site_id >= 0 else None,
+            )
+            return pc + 10
+
+        def op_probe_escape(pc, code, regs, stack_objects, cs):
+            value = int(regs[code[pc + 1]])
+            dest = int(regs[code[pc + 2]])
+            loc_index = code[pc + 3]
+            c = vm.cost
+            vm.cost = c + hooks.on_probe_escape(
+                value, dest,
+                loc_table[loc_index] if loc_index >= 0 else None,
+            )
+            return pc + 4
+
+        def op_probe_static(pc, code, regs, stack_objects, cs):
+            addr = int(regs[code[pc + 1]])
+            c = vm.cost
+            vm.cost = c + hooks.on_probe_static(
+                code[pc + 3], addr, code[pc + 2],
+            )
+            return pc + 4
+
+        def op_omp_begin(pc, code, regs, stack_objects, cs):
+            c = vm.cost
+            vm.cost = c + roi_cost + hooks.on_omp_region(
+                str_table[code[pc + 1]], code[pc + 2], True)
+            return pc + 3
+
+        def op_omp_end(pc, code, regs, stack_objects, cs):
+            c = vm.cost
+            vm.cost = c + roi_cost + hooks.on_omp_region(
+                str_table[code[pc + 1]], code[pc + 2], False)
+            return pc + 3
+
+        def op_omp_barrier(pc, code, regs, stack_objects, cs):
+            c = vm.cost
+            vm.cost = c + roi_cost + hooks.on_omp_barrier()
+            return pc + 1
+
+        table: list = [None] * (OP_CALL_IND_QB + 1)
+        table[OP_AND] = op_and
+        table[OP_OR] = op_or
+        table[OP_XOR] = op_xor
+        table[OP_SHL] = op_shl
+        table[OP_SHR] = op_shr
+        table[OP_ALLOCA] = op_alloca
+        table[OP_CALL_MISSING] = op_call_missing
+        table[OP_ROI_BEGIN] = op_roi_begin
+        table[OP_ROI_END] = op_roi_end
+        table[OP_ROI_RESET] = op_roi_reset
+        table[OP_PROBE_CLASSIFY] = op_probe_classify
+        table[OP_PROBE_ESCAPE] = op_probe_escape
+        table[OP_PROBE_STATIC] = op_probe_static
+        table[OP_OMP_BEGIN] = op_omp_begin
+        table[OP_OMP_END] = op_omp_end
+        table[OP_OMP_BARRIER] = op_omp_barrier
+        return table
+
     # -- main loop ---------------------------------------------------------
 
-    def _execute(self, fn: BytecodeFunction, regs: list) -> None:
+    def _execute(
+        self,
+        fn: BytecodeFunction,
+        regs: list,
+        # Default-argument idiom: binds every opcode the dispatch
+        # chain compares against as a fast local instead of a module
+        # global.  Never pass these.
+        *,
+        OP_ADD=OP_ADD,
+        OP_ADDR=OP_ADDR,
+        OP_ADD_QI=OP_ADD_QI,
+        OP_BIN_STORE=OP_BIN_STORE,
+        OP_BR=OP_BR,
+        OP_CALL=OP_CALL,
+        OP_CALL_BUILTIN=OP_CALL_BUILTIN,
+        OP_CALL_IND=OP_CALL_IND,
+        OP_CALL_IND_QB=OP_CALL_IND_QB,
+        OP_CALL_IND_QF=OP_CALL_IND_QF,
+        OP_CAST=OP_CAST,
+        OP_DIV=OP_DIV,
+        OP_DIV_QI=OP_DIV_QI,
+        OP_EQ=OP_EQ,
+        OP_EQ_BR=OP_EQ_BR,
+        OP_EQ_BR_QI=OP_EQ_BR_QI,
+        OP_GE=OP_GE,
+        OP_GE_BR=OP_GE_BR,
+        OP_GE_BR_QI=OP_GE_BR_QI,
+        OP_GT=OP_GT,
+        OP_GT_BR=OP_GT_BR,
+        OP_GT_BR_QI=OP_GT_BR_QI,
+        OP_JUMP=OP_JUMP,
+        OP_JUMP_PHI=OP_JUMP_PHI,
+        OP_LE=OP_LE,
+        OP_LE_BR=OP_LE_BR,
+        OP_LE_BR_QI=OP_LE_BR_QI,
+        OP_LOAD=OP_LOAD,
+        OP_LOAD_BIN=OP_LOAD_BIN,
+        OP_LT=OP_LT,
+        OP_LT_BR=OP_LT_BR,
+        OP_LT_BR_QI=OP_LT_BR_QI,
+        OP_MUL=OP_MUL,
+        OP_MUL_QI=OP_MUL_QI,
+        OP_NE=OP_NE,
+        OP_NE_BR=OP_NE_BR,
+        OP_NE_BR_QI=OP_NE_BR_QI,
+        OP_PHI=OP_PHI,
+        OP_PHI_Q1=OP_PHI_Q1,
+        OP_PROBE_ACCESS=OP_PROBE_ACCESS,
+        OP_PROBE_LOAD=OP_PROBE_LOAD,
+        OP_PROBE_STORE=OP_PROBE_STORE,
+        OP_REM=OP_REM,
+        OP_REM_QI=OP_REM_QI,
+        OP_RET=OP_RET,
+        OP_RSUB_QI=OP_RSUB_QI,
+        OP_STORE=OP_STORE,
+        OP_SUB=OP_SUB,
+        OP_SUB_QI=OP_SUB_QI,
+        TY_CHAR=TY_CHAR,
+        TY_FLOAT=TY_FLOAT,
+    ) -> None:
         memory = self.memory
         hooks = self.hooks
         cm = self.cost_model
@@ -296,6 +701,10 @@ class BytecodeInterpreter:
         linked_fns = self._linked_functions
         linked_builtins = self._linked_builtins
         addr_targets = self._addr_targets
+        quick_targets = bc._quick_targets
+        cold_table = self._cold_table
+        n_cold = len(cold_table)
+        bin_eval = _BIN_EVAL
         trace = self.trace_stream
         arith = cm.arith
         load_cost = cm.load
@@ -305,11 +714,14 @@ class BytecodeInterpreter:
         cast_cost = cm.cast
         call_cost = cm.call
         ret_cost = cm.ret
-        alloca_cost = cm.alloca
         roi_cost = cm.roi_marker
+        # Merged constants for the fused fast paths (the trip/trap
+        # paths charge the components separately to match the oracle).
+        arith_branch = arith + branch_cost
+        load_arith = load_cost + arith
         ty_objs = (ct.INT, ct.FLOAT, ct.CHAR)  # indexed by TY_* codes
         kind_objs = (AccessKind.READ, AccessKind.WRITE)
-        code = fn.code
+        code = fn.xcode
         pc = fn.entry_pc
         cs = tuple(call_stack)
         frames: List[tuple] = []  # suspended callers
@@ -327,27 +739,182 @@ class BytecodeInterpreter:
                 if trace is not None:
                     print(f"trace: [{ic}] {fn.name}+{pc} {OPCODE_NAMES[op]}",
                           file=trace)
-                # Three-way dispatch tree, hot paths shallow: arithmetic
-                # first (the binops occupy the top of the original opcode
-                # range, so a single compare guards them), then the
-                # memory/control group, then calls/probes/markers.
-                # Opcodes appended above the binops land in the first
-                # arm's else — rare ones only, the hot guard stays one
-                # compare.
+                # Dispatch: hot opcodes (quickened, fused, common binops)
+                # sit in a shallow inline chain; fused opcodes count both
+                # component instructions and re-check the budget between
+                # the halves so trip points match the unfused pair.
+                # Everything past the chain dispatches through the dense
+                # cold handler table.
                 if op >= OP_ADD:
-                    if op == OP_ADD:
+                    if op == OP_PHI_Q1:
+                        regs[code[pc + 4]] = regs[code[pc + 3]]
+                        cost += arith
+                        pc = code[pc + 2]
+                    elif op == OP_ADD_QI:
+                        regs[code[pc + 1]] = regs[code[pc + 2]] + code[pc + 3]
+                        cost += arith
+                        pc += 4
+                    elif op == OP_MUL_QI:
+                        regs[code[pc + 1]] = regs[code[pc + 2]] * code[pc + 3]
+                        cost += arith
+                        pc += 4
+                    elif op == OP_LT_BR_QI:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] < code[pc + 3]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
+                    elif op == OP_REM_QI:
+                        lhs = regs[code[pc + 2]]
+                        rhs = code[pc + 3]
+                        quotient = abs(lhs) // abs(rhs)
+                        if (lhs < 0) != (rhs < 0):
+                            quotient = -quotient
+                        regs[code[pc + 1]] = lhs - quotient * rhs
+                        cost += arith
+                        pc += 5
+                    elif op == OP_JUMP_PHI:
+                        cost += branch_cost
+                        ic += 1
+                        if ic > max_instructions:
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        t = code[pc + 1]
+                        k = code[t + 1]
+                        base = t + 3
+                        if k == 1:
+                            regs[code[base + 1]] = regs[code[base]]
+                        elif k == 2:
+                            v0 = regs[code[base]]
+                            v1 = regs[code[base + 2]]
+                            regs[code[base + 1]] = v0
+                            regs[code[base + 3]] = v1
+                        elif k == 3:
+                            v0 = regs[code[base]]
+                            v1 = regs[code[base + 2]]
+                            v2 = regs[code[base + 4]]
+                            regs[code[base + 1]] = v0
+                            regs[code[base + 3]] = v1
+                            regs[code[base + 5]] = v2
+                        else:
+                            values = [regs[code[base + 2 * i]]
+                                      for i in range(k)]
+                            for i in range(k):
+                                regs[code[base + 2 * i + 1]] = values[i]
+                        ic += k - 1
+                        cost += arith * k
+                        pc = code[t + 2]
+                    elif op == OP_ADD:
                         regs[code[pc + 1]] = (
                             regs[code[pc + 2]] + regs[code[pc + 3]])
                         cost += arith
                         pc += 4
+                    elif op == OP_GT_BR_QI:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] > code[pc + 3]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
                     elif op == OP_SUB:
                         regs[code[pc + 1]] = (
                             regs[code[pc + 2]] - regs[code[pc + 3]])
                         cost += arith
                         pc += 4
+                    elif op == OP_DIV_QI:
+                        lhs = regs[code[pc + 2]]
+                        rhs = code[pc + 3]
+                        if isinstance(lhs, float):
+                            result = lhs / rhs
+                        else:
+                            result = abs(lhs) // abs(rhs)
+                            if (lhs < 0) != (rhs < 0):
+                                result = -result
+                        regs[code[pc + 1]] = result
+                        cost += arith
+                        pc += 5
+                    elif op == OP_RSUB_QI:
+                        regs[code[pc + 1]] = code[pc + 2] - regs[code[pc + 3]]
+                        cost += arith
+                        pc += 4
+                    elif op == OP_LOAD_BIN:
+                        regs[code[pc + 2]] = read_scalar(
+                            int(regs[code[pc + 3]]), ty_objs[code[pc + 4]])
+                        if code[pc + 5]:
+                            var_accesses += 1
+                        else:
+                            mem_accesses += 1
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += load_cost
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        regs[code[pc + 6]] = bin_eval[code[pc + 1]](
+                            regs[code[pc + 7]], regs[code[pc + 8]])
+                        cost += load_arith
+                        pc += 9
+                    elif op == OP_BIN_STORE:
+                        regs[code[pc + 2]] = value = bin_eval[code[pc + 1]](
+                            regs[code[pc + 3]], regs[code[pc + 4]])
+                        cost += arith
+                        ic += 1
+                        if ic > max_instructions:
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        addr = int(regs[code[pc + 5]])
+                        write_scalar(addr, value, ty_objs[code[pc + 6]])
+                        if code[pc + 7]:
+                            var_accesses += 1
+                        else:
+                            mem_accesses += 1
+                        cost += store_cost
+                        pc += 8
+                    elif op == OP_LT_BR:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] < regs[code[pc + 3]]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
+                    elif op == OP_GT_BR:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] > regs[code[pc + 3]]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
                     elif op == OP_MUL:
                         regs[code[pc + 1]] = (
                             regs[code[pc + 2]] * regs[code[pc + 3]])
+                        cost += arith
+                        pc += 4
+                    elif op == OP_SUB_QI:
+                        regs[code[pc + 1]] = regs[code[pc + 2]] - code[pc + 3]
                         cost += arith
                         pc += 4
                     elif op == OP_LT:
@@ -356,6 +923,110 @@ class BytecodeInterpreter:
                             else 0)
                         cost += arith
                         pc += 4
+                    elif op == OP_LE_BR:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] <= regs[code[pc + 3]]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
+                    elif op == OP_GE_BR:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] >= regs[code[pc + 3]]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
+                    elif op == OP_EQ_BR:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] == regs[code[pc + 3]]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
+                    elif op == OP_NE_BR:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] != regs[code[pc + 3]]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
+                    elif op == OP_LE_BR_QI:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] <= code[pc + 3]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
+                    elif op == OP_GE_BR_QI:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] >= code[pc + 3]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
+                    elif op == OP_EQ_BR_QI:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] == code[pc + 3]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
+                    elif op == OP_NE_BR_QI:
+                        ic += 1
+                        if ic > max_instructions:
+                            cost += arith
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        cost += arith_branch
+                        if regs[code[pc + 2]] != code[pc + 3]:
+                            regs[code[pc + 1]] = 1
+                            pc = code[pc + 4]
+                        else:
+                            regs[code[pc + 1]] = 0
+                            pc = code[pc + 5]
                     elif op == OP_DIV:
                         lhs = regs[code[pc + 2]]
                         rhs = regs[code[pc + 3]]
@@ -417,43 +1088,139 @@ class BytecodeInterpreter:
                         regs[code[pc + 1]] = lhs - quotient * rhs
                         cost += arith
                         pc += 5
-                    elif op == OP_AND:
-                        regs[code[pc + 1]] = (
-                            int(regs[code[pc + 2]]) & int(regs[code[pc + 3]]))
-                        cost += arith
-                        pc += 4
-                    elif op == OP_OR:
-                        regs[code[pc + 1]] = (
-                            int(regs[code[pc + 2]]) | int(regs[code[pc + 3]]))
-                        cost += arith
-                        pc += 4
-                    elif op == OP_XOR:
-                        regs[code[pc + 1]] = (
-                            int(regs[code[pc + 2]]) ^ int(regs[code[pc + 3]]))
-                        cost += arith
-                        pc += 4
-                    elif op == OP_SHL:
-                        regs[code[pc + 1]] = (
-                            int(regs[code[pc + 2]])
-                            << (int(regs[code[pc + 3]]) & 63))
-                        cost += arith
-                        pc += 4
-                    elif op == OP_SHR:
-                        regs[code[pc + 1]] = (
-                            int(regs[code[pc + 2]])
-                            >> (int(regs[code[pc + 3]]) & 63))
-                        cost += arith
-                        pc += 4
-                    elif op == OP_PROBE_STATIC:
-                        addr = int(regs[code[pc + 1]])
+                    elif op == OP_PROBE_LOAD:
+                        addr = int(regs[code[pc + 2]])
+                        count_slot = code[pc + 5]
+                        count = (1 if count_slot < 0
+                                 else int(regs[count_slot]))
+                        var_index = code[pc + 4]
+                        loc_index = code[pc + 7]
+                        site_id = code[pc + 8]
                         self.instructions = ic
                         self.cost = cost
-                        cost += hooks.on_probe_static(
-                            code[pc + 3], addr, code[pc + 2],
+                        cost += hooks.on_probe_access(
+                            kind_objs[code[pc + 1]], addr, code[pc + 3],
+                            var_table[var_index] if var_index >= 0 else None,
+                            count, code[pc + 6],
+                            loc_table[loc_index] if loc_index >= 0 else None,
+                            cs, site_id if site_id >= 0 else None,
                         )
-                        pc += 4
+                        ic += 1
+                        if ic > max_instructions:
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        addr = int(regs[code[pc + 10]])
+                        regs[code[pc + 9]] = read_scalar(
+                            addr, ty_objs[code[pc + 11]])
+                        if code[pc + 12]:
+                            var_accesses += 1
+                        else:
+                            mem_accesses += 1
+                        cost += load_cost
+                        pc += 13
+                    elif op == OP_PROBE_STORE:
+                        addr = int(regs[code[pc + 2]])
+                        count_slot = code[pc + 5]
+                        count = (1 if count_slot < 0
+                                 else int(regs[count_slot]))
+                        var_index = code[pc + 4]
+                        loc_index = code[pc + 7]
+                        site_id = code[pc + 8]
+                        self.instructions = ic
+                        self.cost = cost
+                        cost += hooks.on_probe_access(
+                            kind_objs[code[pc + 1]], addr, code[pc + 3],
+                            var_table[var_index] if var_index >= 0 else None,
+                            count, code[pc + 6],
+                            loc_table[loc_index] if loc_index >= 0 else None,
+                            cs, site_id if site_id >= 0 else None,
+                        )
+                        ic += 1
+                        if ic > max_instructions:
+                            raise BudgetExceeded(
+                                "instruction budget exceeded")
+                        addr = int(regs[code[pc + 10]])
+                        write_scalar(addr, regs[code[pc + 9]],
+                                     ty_objs[code[pc + 11]])
+                        if code[pc + 12]:
+                            var_accesses += 1
+                        else:
+                            mem_accesses += 1
+                        cost += store_cost
+                        pc += 13
+                    elif op == OP_CALL_IND_QF:
+                        callee = quick_targets[code[pc + 1]]
+                        argc = code[pc + 5]
+                        base = pc + 6
+                        args = [regs[code[base + i]] for i in range(argc)]
+                        cost += call_cost
+                        if code[pc + 3] and hooks.wants_pin():
+                            self.instructions = ic
+                            self.cost = cost
+                            cost += hooks.on_pin_attach()
+                        if max_depth and len(frames) + 1 >= max_depth:
+                            raise BudgetExceeded(
+                                f"recursion depth budget exceeded "
+                                f"({max_depth} frames) calling "
+                                f"{callee.name!r}"
+                            )
+                        frames.append((fn, regs, base + argc, code[pc + 2],
+                                       stack_objects, cs))
+                        fn = callee
+                        if not fn.xquick:
+                            self._quicken(fn)
+                        code = fn.xcode
+                        new_regs = fn.proto.copy()
+                        arg_base = fn.arg_base
+                        n_args = fn.n_args
+                        for i in range(argc if argc < n_args else n_args):
+                            new_regs[arg_base + i] = args[i]
+                        regs = new_regs
+                        stack_objects = []
+                        pc = fn.entry_pc
+                        call_stack.append(fn.name)
+                        cs = cs + (fn.name,)
+                        self.instructions = ic
+                        self.cost = cost
+                        cost += hooks.on_call_enter(fn.name, fn.instrumented)
+                    elif op == OP_CALL_IND_QB:
+                        name, impl, base_cost = quick_targets[code[pc + 1]]
+                        argc = code[pc + 5]
+                        base = pc + 6
+                        args = [regs[code[base + i]] for i in range(argc)]
+                        cost += call_cost
+                        loc_index = code[pc + 4]
+                        self._alloc_loc = (loc_table[loc_index]
+                                           if loc_index >= 0 else None)
+                        memory.clock = ic
+                        self.instructions = ic
+                        if code[pc + 3] and hooks.wants_pin():
+                            self.cost = cost
+                            cost += hooks.on_pin_attach()
+                            self._pin_active = True
+                        self.cost = cost
+                        try:
+                            result = impl(self, args)
+                        finally:
+                            self._pin_active = False
+                            cost = self.cost
+                        cost += base_cost
+                        dst = code[pc + 2]
+                        if dst >= 0:
+                            regs[dst] = result
+                        pc = base + argc
                     else:
-                        raise VMError(f"unknown opcode {op} at {fn.name}+{pc}")
+                        handler = (cold_table[op]
+                                   if 0 <= op < n_cold else None)
+                        if handler is None:
+                            raise VMError(
+                                f"unknown opcode {op} at {fn.name}+{pc}")
+                        self.instructions = ic
+                        self.cost = cost
+                        try:
+                            pc = handler(pc, code, regs, stack_objects, cs)
+                        finally:
+                            cost = self.cost
                 elif op <= OP_PHI:
                     if op == OP_LOAD:
                         addr = int(regs[code[pc + 2]])
@@ -465,6 +1232,9 @@ class BytecodeInterpreter:
                             mem_accesses += 1
                         cost += load_cost
                         pc += 5
+                    elif op == OP_JUMP:
+                        pc = code[pc + 1]
+                        cost += branch_cost
                     elif op == OP_STORE:
                         addr = int(regs[code[pc + 2]])
                         write_scalar(addr, regs[code[pc + 1]],
@@ -478,9 +1248,6 @@ class BytecodeInterpreter:
                     elif op == OP_BR:
                         pc = code[pc + 2] if regs[code[pc + 1]] != 0 \
                             else code[pc + 3]
-                        cost += branch_cost
-                    elif op == OP_JUMP:
-                        pc = code[pc + 1]
                         cost += branch_cost
                     elif op == OP_PHI:
                         # Per-edge trampoline: read every incoming against
@@ -521,35 +1288,6 @@ class BytecodeInterpreter:
                         pc += 6
                     else:
                         raise VMError(f"unknown opcode {op} at {fn.name}+{pc}")
-                elif op == OP_CAST:
-                    value = regs[code[pc + 2]]
-                    to = code[pc + 3]
-                    if to == TY_FLOAT:
-                        regs[code[pc + 1]] = float(value)
-                    elif to == TY_CHAR:
-                        regs[code[pc + 1]] = int(value) & 0xFF
-                    else:
-                        regs[code[pc + 1]] = int(value)
-                    cost += cast_cost
-                    pc += 4
-                elif op == OP_ALLOCA:
-                    memory.clock = ic
-                    var_index = code[pc + 3]
-                    var = var_table[var_index] if var_index >= 0 else None
-                    loc_index = code[pc + 4]
-                    obj = memory.allocate(
-                        code[pc + 2], "stack", var=var,
-                        loc=loc_table[loc_index] if loc_index >= 0 else None,
-                        callstack=cs,
-                    )
-                    stack_objects.append(obj)
-                    regs[code[pc + 1]] = obj.base
-                    cost += alloca_cost
-                    if var is not None:
-                        self.instructions = ic
-                        self.cost = cost
-                        cost += hooks.on_alloc(obj)
-                    pc += 5
                 elif op == OP_CALL:
                     callee = linked_fns[code[pc + 1]]
                     argc = code[pc + 4]
@@ -571,7 +1309,9 @@ class BytecodeInterpreter:
                     frames.append((fn, regs, base + argc, code[pc + 2],
                                    stack_objects, cs))
                     fn = callee
-                    code = fn.code
+                    if not fn.xquick:
+                        self._quicken(fn)
+                    code = fn.xcode
                     new_regs = fn.proto.copy()
                     arg_base = fn.arg_base
                     n_args = fn.n_args
@@ -585,6 +1325,25 @@ class BytecodeInterpreter:
                     self.instructions = ic
                     self.cost = cost
                     cost += hooks.on_call_enter(fn.name, fn.instrumented)
+                elif op == OP_RET:
+                    memory.clock = ic
+                    value_slot = code[pc + 1]
+                    value = regs[value_slot] if value_slot >= 0 else None
+                    for obj in stack_objects:
+                        memory.release_stack_object(obj)
+                    call_stack.pop()
+                    cost += ret_cost
+                    if frames:
+                        self.instructions = ic
+                        self.cost = cost
+                        cost += hooks.on_call_exit(fn.name)
+                        fn, regs, pc, dst, stack_objects, cs = frames.pop()
+                        code = fn.xcode
+                        if dst >= 0:
+                            regs[dst] = value
+                    else:
+                        self._return_value = value
+                        return
                 elif op == OP_CALL_BUILTIN:
                     name, impl, base_cost = linked_builtins[code[pc + 1]]
                     argc = code[pc + 5]
@@ -611,6 +1370,17 @@ class BytecodeInterpreter:
                     if dst >= 0:
                         regs[dst] = result
                     pc = base + argc
+                elif op == OP_CAST:
+                    value = regs[code[pc + 2]]
+                    to = code[pc + 3]
+                    if to == TY_FLOAT:
+                        regs[code[pc + 1]] = float(value)
+                    elif to == TY_CHAR:
+                        regs[code[pc + 1]] = int(value) & 0xFF
+                    else:
+                        regs[code[pc + 1]] = int(value)
+                    cost += cast_cost
+                    pc += 4
                 elif op == OP_CALL_IND:
                     addr = int(regs[code[pc + 1]])
                     target = addr_targets.get(addr)
@@ -659,7 +1429,9 @@ class BytecodeInterpreter:
                         frames.append((fn, regs, base + argc, code[pc + 2],
                                        stack_objects, cs))
                         fn = callee
-                        code = fn.code
+                        if not fn.xquick:
+                            self._quicken(fn)
+                        code = fn.xcode
                         new_regs = fn.proto.copy()
                         arg_base = fn.arg_base
                         n_args = fn.n_args
@@ -673,48 +1445,6 @@ class BytecodeInterpreter:
                         self.instructions = ic
                         self.cost = cost
                         cost += hooks.on_call_enter(fn.name, fn.instrumented)
-                elif op == OP_CALL_MISSING:
-                    cost += call_cost
-                    raise TrapError(
-                        f"call to undefined function "
-                        f"{str_table[code[pc + 1]]!r}"
-                    )
-                elif op == OP_RET:
-                    memory.clock = ic
-                    value_slot = code[pc + 1]
-                    value = regs[value_slot] if value_slot >= 0 else None
-                    for obj in stack_objects:
-                        memory.release_stack_object(obj)
-                    call_stack.pop()
-                    cost += ret_cost
-                    if frames:
-                        self.instructions = ic
-                        self.cost = cost
-                        cost += hooks.on_call_exit(fn.name)
-                        fn, regs, pc, dst, stack_objects, cs = frames.pop()
-                        code = fn.code
-                        if dst >= 0:
-                            regs[dst] = value
-                    else:
-                        self._return_value = value
-                        return
-                elif op == OP_ROI_BEGIN:
-                    self.roi_depth += 1
-                    self.instructions = ic
-                    self.cost = cost
-                    cost += roi_cost + hooks.on_roi_begin(code[pc + 1])
-                    pc += 2
-                elif op == OP_ROI_END:
-                    self.roi_depth -= 1
-                    self.instructions = ic
-                    self.cost = cost
-                    cost += roi_cost + hooks.on_roi_end(code[pc + 1])
-                    pc += 2
-                elif op == OP_ROI_RESET:
-                    self.instructions = ic
-                    self.cost = cost
-                    cost += roi_cost + hooks.on_roi_reset(code[pc + 1])
-                    pc += 2
                 elif op == OP_PROBE_ACCESS:
                     addr = int(regs[code[pc + 2]])
                     count_slot = code[pc + 5]
@@ -732,55 +1462,17 @@ class BytecodeInterpreter:
                         cs, site_id if site_id >= 0 else None,
                     )
                     pc += 9
-                elif op == OP_PROBE_CLASSIFY:
-                    addr = int(regs[code[pc + 2]])
-                    count_slot = code[pc + 5]
-                    count = 1 if count_slot < 0 else int(regs[count_slot])
-                    var_index = code[pc + 4]
-                    loc_index = code[pc + 7]
-                    roi_id = code[pc + 8]
-                    site_id = code[pc + 9]
-                    self.instructions = ic
-                    self.cost = cost
-                    cost += hooks.on_probe_classify(
-                        str_table[code[pc + 1]], addr, code[pc + 3],
-                        var_table[var_index] if var_index >= 0 else None,
-                        count, code[pc + 6],
-                        loc_table[loc_index] if loc_index >= 0 else None,
-                        roi_id if roi_id >= 0 else None,
-                        site_id if site_id >= 0 else None,
-                    )
-                    pc += 10
-                elif op == OP_PROBE_ESCAPE:
-                    value = int(regs[code[pc + 1]])
-                    dest = int(regs[code[pc + 2]])
-                    loc_index = code[pc + 3]
-                    self.instructions = ic
-                    self.cost = cost
-                    cost += hooks.on_probe_escape(
-                        value, dest,
-                        loc_table[loc_index] if loc_index >= 0 else None,
-                    )
-                    pc += 4
-                elif op == OP_OMP_BEGIN:
-                    self.instructions = ic
-                    self.cost = cost
-                    cost += roi_cost + hooks.on_omp_region(
-                        str_table[code[pc + 1]], code[pc + 2], True)
-                    pc += 3
-                elif op == OP_OMP_END:
-                    self.instructions = ic
-                    self.cost = cost
-                    cost += roi_cost + hooks.on_omp_region(
-                        str_table[code[pc + 1]], code[pc + 2], False)
-                    pc += 3
-                elif op == OP_OMP_BARRIER:
-                    self.instructions = ic
-                    self.cost = cost
-                    cost += roi_cost + hooks.on_omp_barrier()
-                    pc += 1
                 else:
-                    raise VMError(f"unknown opcode {op} at {fn.name}+{pc}")
+                    handler = cold_table[op] if 0 <= op < n_cold else None
+                    if handler is None:
+                        raise VMError(
+                            f"unknown opcode {op} at {fn.name}+{pc}")
+                    self.instructions = ic
+                    self.cost = cost
+                    try:
+                        pc = handler(pc, code, regs, stack_objects, cs)
+                    finally:
+                        cost = self.cost
         finally:
             self.instructions = ic
             self.cost = cost

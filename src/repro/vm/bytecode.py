@@ -94,12 +94,90 @@ OP_SHL = 37
 OP_SHR = 38
 OP_PROBE_STATIC = 39   # [ptr, roi, fact]
 
+# -- tier-2 superinstructions (canonical: serialized, schema v2) ------------
+#
+# The fusion peephole in :mod:`repro.vm.codegen` collapses the adjacent
+# pairs that dominate lowered streams (see the static pair-frequency
+# count it records) into one fused opcode each.  Fused execution still
+# counts both component instructions and checks the budget between the
+# halves, so trip points and spilled state match the unfused stream and
+# the tree-walk oracle exactly.
+
+OP_LT_BR = 40          # [dst, lhs, rhs, true_pc, false_pc]  (cmp+branch)
+OP_LE_BR = 41
+OP_GT_BR = 42
+OP_GE_BR = 43
+OP_EQ_BR = 44
+OP_NE_BR = 45
+OP_LOAD_BIN = 46       # [subop, ldst, ptr, ty, is_var, bdst, lhs, rhs]
+OP_BIN_STORE = 47      # [subop, bdst, lhs, rhs, ptr, ty, is_var]
+OP_PROBE_LOAD = 48     # [probe.access 8 operands..., dst, ptr, ty, is_var]
+OP_PROBE_STORE = 49    # [probe.access 8 operands..., val, ptr, ty, is_var]
+
+#: cmp opcode -> fused cmp+branch opcode.
+FUSED_CMP_BR: Dict[int, int] = {}
+
+# -- tier-2 quickened opcodes (runtime-only: NEVER serialized) --------------
+#
+# The interpreter rewrites quickenable sites of a function's *execution
+# stream* into these on first execution (see ``BytecodeInterpreter``);
+# the canonical ``fn.code`` stream is never touched, and ``dequicken``
+# restores the execution stream from it.  Layouts match the canonical
+# forms word for word so rewrites are in place; ``*_QI`` variants carry
+# an immediate operand value where the canonical form carries a
+# const-pool slot.
+
+OP_ADD_QI = 56         # [dst, lhs, imm]
+OP_SUB_QI = 57         # [dst, lhs, imm]
+OP_RSUB_QI = 58        # [dst, imm, rhs]  (sub with constant lhs)
+OP_MUL_QI = 59         # [dst, lhs, imm]
+OP_DIV_QI = 60         # [dst, lhs, imm, loc]  (imm is a nonzero int)
+OP_REM_QI = 61         # [dst, lhs, imm, loc]  (imm is a nonzero int)
+OP_LT_BR_QI = 62       # [dst, lhs, imm, true_pc, false_pc]
+OP_LE_BR_QI = 63
+OP_GT_BR_QI = 64
+OP_GE_BR_QI = 65
+OP_EQ_BR_QI = 66
+OP_NE_BR_QI = 67
+OP_PHI_Q1 = 68         # OP_PHI layout with k == 1
+OP_CALL_IND_QF = 69    # [target_index, dst, pin, alloc_loc, argc, args...]
+OP_CALL_IND_QB = 70    # same, target pre-resolved to a builtin
+OP_JUMP_PHI = 71       # OP_JUMP layout; target is a phi trampoline that is
+                       # executed in the same dispatch (still counted as two
+                       # instructions, budget-checked between them)
+
+#: Offset from a canonical fused cmp+branch opcode to its ``_QI`` twin.
+QUICKEN_CMP_BR_OFFSET = OP_LT_BR_QI - OP_LT_BR
+
+#: Canonical binop opcode -> immediate-quickened opcode.
+QUICKENED_BINOPS: Dict[int, int] = {}
+
+#: Every opcode that only exists in a quickened execution stream.
+QUICKENED_OPCODES = frozenset(range(OP_ADD_QI, OP_JUMP_PHI + 1))
+
 #: IR binop name -> opcode (div/rem carry an extra loc operand for traps).
 BINOP_OPCODES: Dict[str, int] = {
     "add": OP_ADD, "sub": OP_SUB, "mul": OP_MUL, "div": OP_DIV,
     "rem": OP_REM, "eq": OP_EQ, "ne": OP_NE, "lt": OP_LT, "le": OP_LE,
     "gt": OP_GT, "ge": OP_GE, "and": OP_AND, "or": OP_OR, "xor": OP_XOR,
     "shl": OP_SHL, "shr": OP_SHR,
+}
+
+FUSED_CMP_BR.update({
+    OP_LT: OP_LT_BR, OP_LE: OP_LE_BR, OP_GT: OP_GT_BR, OP_GE: OP_GE_BR,
+    OP_EQ: OP_EQ_BR, OP_NE: OP_NE_BR,
+})
+QUICKENED_BINOPS.update({
+    OP_ADD: OP_ADD_QI, OP_SUB: OP_SUB_QI, OP_MUL: OP_MUL_QI,
+    OP_DIV: OP_DIV_QI, OP_REM: OP_REM_QI,
+})
+
+#: Fused opcode -> stats-bucket name (``fused_sites`` breakdown).
+FUSED_KINDS: Dict[int, str] = {
+    OP_LT_BR: "cmp_br", OP_LE_BR: "cmp_br", OP_GT_BR: "cmp_br",
+    OP_GE_BR: "cmp_br", OP_EQ_BR: "cmp_br", OP_NE_BR: "cmp_br",
+    OP_LOAD_BIN: "load_bin", OP_BIN_STORE: "bin_store",
+    OP_PROBE_LOAD: "probe_access", OP_PROBE_STORE: "probe_access",
 }
 
 #: Scalar type codes for load/store/cast operands.
@@ -119,6 +197,18 @@ OPCODE_NAMES: Dict[int, str] = {
     OP_PROBE_STATIC: "probe.static",
     OP_OMP_BEGIN: "omp.begin", OP_OMP_END: "omp.end",
     OP_OMP_BARRIER: "omp.barrier",
+    OP_LT_BR: "lt.br", OP_LE_BR: "le.br", OP_GT_BR: "gt.br",
+    OP_GE_BR: "ge.br", OP_EQ_BR: "eq.br", OP_NE_BR: "ne.br",
+    OP_LOAD_BIN: "load.bin", OP_BIN_STORE: "bin.store",
+    OP_PROBE_LOAD: "probe.load", OP_PROBE_STORE: "probe.store",
+    OP_ADD_QI: "add.qi", OP_SUB_QI: "sub.qi", OP_RSUB_QI: "rsub.qi",
+    OP_MUL_QI: "mul.qi", OP_DIV_QI: "div.qi", OP_REM_QI: "rem.qi",
+    OP_LT_BR_QI: "lt.br.qi", OP_LE_BR_QI: "le.br.qi",
+    OP_GT_BR_QI: "gt.br.qi", OP_GE_BR_QI: "ge.br.qi",
+    OP_EQ_BR_QI: "eq.br.qi", OP_NE_BR_QI: "ne.br.qi",
+    OP_PHI_Q1: "phi.q1",
+    OP_CALL_IND_QF: "call.ind.qf", OP_CALL_IND_QB: "call.ind.qb",
+    OP_JUMP_PHI: "jump.phi",
 }
 OPCODE_NAMES.update({code: name for name, code in BINOP_OPCODES.items()})
 
@@ -134,19 +224,27 @@ OPCODE_WIDTHS: Dict[int, int] = {
     OP_ADD: 3, OP_SUB: 3, OP_MUL: 3, OP_DIV: 4, OP_REM: 4, OP_EQ: 3,
     OP_NE: 3, OP_LT: 3, OP_LE: 3, OP_GT: 3, OP_GE: 3, OP_AND: 3,
     OP_OR: 3, OP_XOR: 3, OP_SHL: 3, OP_SHR: 3,
+    OP_LT_BR: 5, OP_LE_BR: 5, OP_GT_BR: 5, OP_GE_BR: 5, OP_EQ_BR: 5,
+    OP_NE_BR: 5, OP_LOAD_BIN: 8, OP_BIN_STORE: 7, OP_PROBE_LOAD: 12,
+    OP_PROBE_STORE: 12,
+    OP_ADD_QI: 3, OP_SUB_QI: 3, OP_RSUB_QI: 3, OP_MUL_QI: 3,
+    OP_DIV_QI: 4, OP_REM_QI: 4, OP_LT_BR_QI: 5, OP_LE_BR_QI: 5,
+    OP_GT_BR_QI: 5, OP_GE_BR_QI: 5, OP_EQ_BR_QI: 5, OP_NE_BR_QI: 5,
+    OP_CALL_IND_QF: 5, OP_CALL_IND_QB: 5, OP_JUMP_PHI: 1,
 }
 
 #: Opcodes whose width is ``OPCODE_WIDTHS[op] + argc`` (argc operand index
 #: relative to the opcode word, used by the disassembler/verifier walk).
 CALL_ARGC_INDEX = {OP_CALL: 4, OP_CALL_BUILTIN: 5, OP_CALL_IND: 5,
-                   OP_CALL_MISSING: 2}
+                   OP_CALL_MISSING: 2, OP_CALL_IND_QF: 5,
+                   OP_CALL_IND_QB: 5}
 #: OP_PHI's width is ``2 + 2*k`` (k = first operand).
 
 
 def instr_width(code, pc: int) -> int:
     """Total width (opcode word included) of the instruction at ``pc``."""
     op = code[pc]
-    if op == OP_PHI:
+    if op == OP_PHI or op == OP_PHI_Q1:
         return 3 + 2 * code[pc + 1]
     width = 1 + OPCODE_WIDTHS[op]
     argc_at = CALL_ARGC_INDEX.get(op)
@@ -171,7 +269,8 @@ class BytecodeFunction:
     """
 
     __slots__ = ("name", "code", "consts", "n_args", "n_regs", "entry_pc",
-                 "instrumented", "arg_base", "proto")
+                 "instrumented", "arg_base", "proto", "xcode", "xquick",
+                 "quickened")
 
     def __init__(self, name: str, code, consts: List[tuple], n_args: int,
                  n_regs: int, entry_pc: int, instrumented: bool) -> None:
@@ -187,6 +286,16 @@ class BytecodeFunction:
         self.arg_base = len(consts)
         #: Linked frame prototype (filled by the interpreter's first link).
         self.proto: Optional[list] = None
+        #: Execution stream: a plain-list mirror of ``code`` built at link
+        #: time.  This is what the dispatch loop runs and what quickening
+        #: rewrites in place; ``code`` itself stays canonical forever, so
+        #: serialization and digests can never observe quickened opcodes.
+        self.xcode: Optional[list] = None
+        #: True once this function's execution stream has been quickened.
+        self.xquick = False
+        #: pc -> quickened opcode for every rewritten site (None until the
+        #: first quickening pass touches the function).
+        self.quickened: Optional[Dict[int, int]] = None
 
 
 class GlobalInit:
@@ -225,6 +334,18 @@ class BytecodeModule:
         #: Link cache (global/function addresses are deterministic, so one
         #: link serves every interpreter over this module).
         self._linked = None
+        #: Pre-resolved indirect-call targets appended by quickening
+        #: (``OP_CALL_IND_QF/QB`` operands index this list).
+        self._quick_targets: List[object] = []
+        #: Fusion-kind counts recorded by the codegen peephole (live
+        #: lowering only; recount deserialized modules via
+        #: :func:`fused_site_counts`).
+        self.fusion_stats: Dict[str, int] = {}
+        #: Static adjacent-opcode pair frequencies seen during lowering —
+        #: the evidence the fusion catalog is chosen from.
+        self.pair_counts: Dict[str, int] = {}
+        #: Total quickened sites restored by :func:`dequicken_module`.
+        self.dequicken_count = 0
 
     def rebind_vars(self, module) -> None:
         """Swap var-table entries for the IR module's own instances.
@@ -252,6 +373,106 @@ class BytecodeModule:
             if var is not None:
                 by_uid[var.uid] = var
         self.var_table = [by_uid.get(var.uid, var) for var in self.var_table]
+
+
+# ---------------------------------------------------------------------------
+# Tier-2 introspection: dequickening, stats, disassembly
+# ---------------------------------------------------------------------------
+
+
+def dequicken_module(bc: BytecodeModule) -> int:
+    """Restore every quickened execution stream to the canonical words.
+
+    Rewrites each patched site of ``fn.xcode`` back from ``fn.code`` (the
+    canonical stream, which quickening never touches) and clears the
+    quickening state so the next run re-quickens from scratch.  Returns
+    the number of sites restored and accumulates it on
+    ``bc.dequicken_count``.
+    """
+    restored = 0
+    for name in bc.function_order:
+        fn = bc.functions[name]
+        sites = fn.quickened
+        if sites:
+            code = fn.code
+            xcode = fn.xcode
+            for pc in sites:
+                width = instr_width(code, pc)
+                xcode[pc:pc + width] = list(code[pc:pc + width])
+            restored += len(sites)
+        fn.quickened = None
+        fn.xquick = False
+    del bc._quick_targets[:]
+    bc.dequicken_count += restored
+    return restored
+
+
+def fused_site_counts(bc: BytecodeModule) -> Dict[str, int]:
+    """Count fused superinstruction sites per kind by walking the
+    canonical code streams (works for live and deserialized modules
+    alike).  Includes a ``"total"`` entry."""
+    counts = {"cmp_br": 0, "load_bin": 0, "bin_store": 0,
+              "probe_access": 0}
+    total = 0
+    for name in bc.function_order:
+        code = bc.functions[name].code
+        pc = 0
+        n = len(code)
+        while pc < n:
+            kind = FUSED_KINDS.get(code[pc])
+            if kind is not None:
+                counts[kind] += 1
+                total += 1
+            pc += instr_width(code, pc)
+    counts["total"] = total
+    return counts
+
+
+def quickened_op_count(bc: BytecodeModule) -> int:
+    """Number of currently-quickened sites across all functions."""
+    return sum(len(bc.functions[name].quickened or ())
+               for name in bc.function_order)
+
+
+def disassemble(bc: BytecodeModule, quicken_report: bool = False) -> str:
+    """Human-readable listing of every canonical code stream.
+
+    Always renders the *canonical* words (``fn.code``), so the output is
+    byte-identical before and after execution regardless of quickening.
+    Fused superinstruction sites are marked ``; fused``; with
+    ``quicken_report`` each site the interpreter has quickened gains a
+    ``; quickened -> <mnemonic>`` annotation read from the (runtime-only)
+    execution stream.
+    """
+    lines = [f"module {bc.name}"]
+    for name in bc.function_order:
+        fn = bc.functions[name]
+        lines.append("")
+        lines.append(f"fn {fn.name} args={fn.n_args} regs={fn.n_regs} "
+                     f"entry={fn.entry_pc}")
+        if fn.consts:
+            pool = ", ".join(f"c{i}={tag}:{payload!r}"
+                             for i, (tag, payload) in enumerate(fn.consts))
+            lines.append(f"  consts: {pool}")
+        code = fn.code
+        quickened = fn.quickened or {}
+        pc = 0
+        n = len(code)
+        while pc < n:
+            op = code[pc]
+            width = instr_width(code, pc)
+            operands = ", ".join(str(code[pc + i]) for i in range(1, width))
+            text = f"  {pc:5d}: {OPCODE_NAMES.get(op, f'op{op}')}"
+            if operands:
+                text += f" {operands}"
+            if op in FUSED_KINDS:
+                text += "  ; fused"
+            if quicken_report and pc in quickened:
+                text += (f"  ; quickened -> "
+                         f"{OPCODE_NAMES.get(quickened[pc], '?')}")
+            lines.append(text)
+            pc += width
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------

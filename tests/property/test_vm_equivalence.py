@@ -11,12 +11,18 @@ from pathlib import Path
 
 import pytest
 
-from repro.compiler import compile_baseline, compile_carmot, compile_naive
+from repro.compiler import (
+    CarmotOptions,
+    compile_baseline,
+    compile_carmot,
+    compile_naive,
+)
 from repro.errors import BudgetExceeded
 from repro.resilience import FaultPlan, ResiliencePolicy
 from repro.resilience.budgets import ExecutionBudgets
 from repro.runtime.psec_json import serialize_profile
 from tests.helpers.progen import random_program as _random_program
+from tests.helpers.progen import random_roi_program as _random_roi_program
 
 REPO = Path(__file__).resolve().parents[2]
 EXAMPLES = ["roi_loop", "stencil_calls", "anneal_stats"]
@@ -82,6 +88,66 @@ def test_random_programs_unoptimized_pipeline(seed):
         payloads[vm] = (serialize_profile(runtime, result),
                         _run_state(result))
     assert payloads["ir"] == payloads["bytecode"]
+
+
+# -- tier-2 re-entry: quickening must stay observationally invisible ----------
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_tier2_reentry_identical_across_engines(seed):
+    """Every seeded program goes through tier-2 twice in the same
+    process: cold (fusion only — quickening happens as functions are
+    first entered) and re-entered (the whole execution stream is already
+    quickened).  Both runs must match the tree-walk oracle exactly."""
+    source = _random_program(seed)
+    program = compile_baseline(source, name=f"requick{seed}")
+    oracle = _run_state(program.run(vm="ir")[0])
+    cold = _run_state(program.run(vm="bytecode")[0])
+    warm = _run_state(program.run(vm="bytecode")[0])
+    assert cold == oracle
+    assert warm == oracle
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("prescreen", ["off", "aggressive"])
+def test_tier2_reentry_instrumented_profiles(seed, prescreen):
+    """Cold and re-entered tier-2 runs of instrumented ROI programs —
+    with and without the aggressive static prescreen — produce the same
+    serialized profile as the tree-walk oracle."""
+    source = _random_roi_program(seed)
+    program = compile_carmot(source, name=f"requick{seed}",
+                             options=CarmotOptions(prescreen=prescreen))
+
+    def run(vm):
+        result, runtime = program.run(vm=vm)
+        return (serialize_profile(runtime, result), _run_state(result))
+
+    oracle = run("ir")
+    assert run("bytecode") == oracle  # cold: fused, quickens on entry
+    assert run("bytecode") == oracle  # warm: fully quickened stream
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_tier2_reentry_procs_drain_exit_fault(seed):
+    """Tier-2 under the crash-tolerant process drain with an injected
+    worker exit: the replayed batches see the same event stream whether
+    the producer ran fused/quickened or tree-walk, cold or re-entered."""
+    source = _random_roi_program(seed)
+    program = compile_carmot(source, name=f"requick_procs{seed}")
+
+    def run(vm):
+        result, runtime = program.run(
+            vm=vm, event_encoding="packed", batch_size=16,
+            pipeline_shards=2, drain="procs",
+            fault_plan=FaultPlan.parse("seed=3;exit@1"),
+            resilience=ResiliencePolicy(max_retries=2),
+        )
+        return (runtime.degradation.to_json(),
+                serialize_profile(runtime, result), _run_state(result))
+
+    oracle = run("ir")
+    assert run("bytecode") == oracle
+    assert run("bytecode") == oracle
 
 
 # -- resilience: faults and budgets -------------------------------------------

@@ -14,10 +14,15 @@ from repro.resilience.budgets import ExecutionBudgets
 from repro.vm.bytecode import (
     OP_PHI,
     OPCODE_NAMES,
+    QUICKENED_OPCODES,
     BytecodeSerializeError,
     bytecode_digest,
+    dequicken_module,
     deserialize_bytecode,
+    disassemble,
+    fused_site_counts,
     instr_width,
+    quickened_op_count,
     serialize_bytecode,
 )
 from repro.vm.codegen import lower_module
@@ -212,6 +217,82 @@ class TestDispatchContract:
         lines = stream.getvalue().splitlines()
         assert lines and all(line.startswith("trace: [") for line in lines)
         assert any("main:" in line for line in lines)
+
+
+# -- tier 2: superinstruction fusion and opcode quickening --------------------
+
+
+class TestTier2:
+    def test_cmp_branch_fuses_in_loop_head(self):
+        """Non-vacuity for the fusion catalog: the compare feeding the
+        while-head branch in SCALAR must fuse into one cmp+branch
+        superinstruction, and the codegen stats must record it."""
+        program = compile_baseline(SCALAR)
+        bc = lower_module(program.module)
+        counts = fused_site_counts(bc)
+        assert counts["cmp_br"] >= 1
+        assert counts["total"] == (counts["cmp_br"] + counts["load_bin"]
+                                   + counts["bin_store"]
+                                   + counts["probe_access"])
+        assert bc.fusion_stats.get("cmp_br", 0) >= 1
+        assert bc.pair_counts, "static pair-frequency evidence missing"
+
+    def test_probe_access_fuses_on_instrumented_build(self):
+        program = compile_carmot(_example("roi_loop"), name="roi_loop")
+        bc = lower_module(program.module)
+        assert fused_site_counts(bc)["probe_access"] >= 1
+
+    def test_quickening_is_observationally_invisible(self):
+        """Serialized payload and canonical disassembly are byte-identical
+        before and after a run that quickened the execution stream."""
+        program = compile_baseline(SCALAR)
+        bc = lower_module(program.module)
+        payload = serialize_bytecode(bc)
+        listing = disassemble(bc)
+        run_module(program.module, bytecode=bc, vm="bytecode")
+        assert quickened_op_count(bc) > 0
+        assert serialize_bytecode(bc) == payload
+        assert disassemble(bc) == listing
+
+    def test_quickened_opcodes_never_reach_the_canonical_stream(self):
+        program = compile_baseline(SCALAR)
+        bc = lower_module(program.module)
+        run_module(program.module, bytecode=bc, vm="bytecode")
+        for name in bc.function_order:
+            fn = bc.functions[name]
+            pc = 0
+            while pc < len(fn.code):
+                assert fn.code[pc] not in QUICKENED_OPCODES
+                pc += instr_width(fn.code, pc)
+
+    def test_dequicken_restores_canonical_execution_stream(self):
+        program = compile_baseline(SCALAR)
+        bc = lower_module(program.module)
+        run_module(program.module, bytecode=bc, vm="bytecode")
+        n = quickened_op_count(bc)
+        assert n > 0
+        assert dequicken_module(bc) == n
+        assert bc.dequicken_count == n
+        for name in bc.function_order:
+            fn = bc.functions[name]
+            assert fn.xcode == list(fn.code)
+            assert not fn.xquick and fn.quickened is None
+        assert not bc._quick_targets
+        # A fresh run re-quickens from scratch and stays correct.
+        a = run_module(program.module, bytecode=bc, vm="bytecode")
+        b = run_module(program.module, vm="ir")
+        assert (a.output, a.cost, a.instructions) == \
+            (b.output, b.cost, b.instructions)
+
+    def test_quicken_report_annotates_without_mutating_canonical(self):
+        program = compile_baseline(SCALAR)
+        bc = lower_module(program.module)
+        run_module(program.module, bytecode=bc, vm="bytecode")
+        report = disassemble(bc, quicken_report=True)
+        assert "; quickened ->" in report
+        stripped = "\n".join(line.split("  ; quickened ->")[0]
+                             for line in report.splitlines())
+        assert stripped == disassemble(bc)
 
 
 # -- session artifact ---------------------------------------------------------
