@@ -30,3 +30,8 @@ STORE_VERSION = 1
 #: Format version of serialized static prescreen facts
 #: (:mod:`repro.compiler.prescreen`).
 PRESCREEN_SCHEMA_VERSION = 1
+
+#: Format version of service request/response documents — the wire
+#: format of the ``repro serve`` daemon and the envelope returned by
+#: :class:`repro.service.core.ServiceCore` (:mod:`repro.service`).
+SERVICE_SCHEMA_VERSION = 1

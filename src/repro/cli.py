@@ -13,13 +13,24 @@ Subcommands:
 - ``dis``       — disassemble the lowered register bytecode (fused sites
   marked; ``--quicken-report`` additionally runs the program and reports
   the runtime-quickened sites);
+- ``serve``     — long-lived profiling daemon on a Unix socket
+  (``--stats``/``--shutdown`` talk to a running daemon);
+- ``request``   — send one request to a running daemon and print the
+  response exactly as the local subcommand would;
 - ``bench``     — runtime hot-path benchmark, writes ``BENCH_runtime.json``;
 - ``cache``     — artifact-cache maintenance (stats/clear/verify).
 
-``recommend``, ``psec``, and ``ir`` are thin clients of the session layer
-(:mod:`repro.session`): unchanged source + pipeline + runtime config loads
-IR and PSECs from the artifact cache instead of recompiling and re-running
-the VM.  ``--no-cache`` forces every stage live; ``--cache-dir`` (or
+Every profiling subcommand is a thin client of the service layer
+(:mod:`repro.service`): the command body builds a typed request, executes
+it through :class:`~repro.service.ServiceCore` (or ships it to a daemon
+via :class:`~repro.service.ServiceClient`), and renders the response
+document with the pure formatters in :mod:`repro.service.format`.  The
+CLI and a daemon client are therefore the same code path by construction
+— the bytes printed are a function of the response document alone.
+
+Unchanged source + pipeline + runtime config loads IR and PSECs from the
+artifact cache instead of recompiling and re-running the VM.
+``--no-cache`` forces every stage live; ``--cache-dir`` (or
 ``$REPRO_CACHE_DIR``) relocates the store from the default
 ``.repro-cache/``.  Cached and live runs print byte-identical output.
 """
@@ -32,13 +43,23 @@ import sys
 from typing import List, Optional
 
 from repro._version import __version__
-from repro.abstractions import describe_pse, recommend
-from repro.compiler import PRESCREEN_MODES, CarmotOptions, CompiledProgram
+from repro.compiler import PRESCREEN_MODES
 from repro.errors import ReproError
-from repro.passes.registry import parse_pipeline
-from repro.resilience import FaultPlan, parse_budget_spec
-from repro.runtime.psec_json import psec_sets_digest, psec_sets_doc
-from repro.session import ArtifactStore, Session
+from repro.service import (
+    REQUEST_KINDS,
+    DisRequest,
+    IrRequest,
+    OverheadRequest,
+    PsecRequest,
+    RecommendRequest,
+    Rendered,
+    RenderOptions,
+    RunOptions,
+    ServiceClient,
+    ServiceCore,
+    render_response,
+)
+from repro.session import ArtifactStore
 
 
 def _read(path: str) -> str:
@@ -46,286 +67,88 @@ def _read(path: str) -> str:
         return handle.read()
 
 
-def _run_kwargs(args: argparse.Namespace):
-    """Translate --budget/--fault-plan flags into program.run() kwargs."""
-    kwargs = {}
-    if getattr(args, "budget", None):
-        spec = parse_budget_spec(args.budget)
-        kwargs["budgets"] = spec.vm
-        kwargs["resilience"] = spec.runtime
-    if getattr(args, "fault_plan", None):
-        kwargs["fault_plan"] = FaultPlan.parse(args.fault_plan)
-    if getattr(args, "batch_size", None) is not None:
-        kwargs["batch_size"] = args.batch_size
-    if getattr(args, "event_encoding", None):
-        kwargs["event_encoding"] = args.event_encoding
-    if getattr(args, "pipeline_shards", None) is not None:
-        kwargs["pipeline_shards"] = args.pipeline_shards
-    if getattr(args, "drain", None):
-        kwargs["drain"] = args.drain
-        if args.drain in ("threads", "procs"):
-            encoding = kwargs.get("event_encoding")
-            if encoding is None:
-                # threads/procs fold packed batches; imply the encoding
-                # the same way --pipeline-shards examples document it.
-                kwargs["event_encoding"] = "packed"
-            elif encoding != "packed":
-                raise ReproError(
-                    f"--drain {args.drain} folds packed batches and "
-                    f"cannot combine with --event-encoding {encoding}"
-                )
-    return kwargs
+def _emit(rendered: Rendered) -> int:
+    if rendered.out:
+        sys.stdout.write(rendered.out)
+    if rendered.err:
+        sys.stderr.write(rendered.err)
+    return rendered.exit_code
 
 
-def _print_degradation(runtime) -> None:
-    if runtime is not None and runtime.degraded:
-        print(f"degraded run — {runtime.degradation.summary()}",
-              file=sys.stderr)
+def _build_request(kind: str, args: argparse.Namespace, source: str):
+    """The typed service request for one subcommand invocation."""
+    options = RunOptions.from_args(args)
+    common = {"source": source, "name": args.file, "options": options}
+    if kind == "ir":
+        return IrRequest(mode=getattr(args, "mode", None) or "plain",
+                         **common)
+    if kind == "dis":
+        return DisRequest(
+            mode=getattr(args, "mode", None) or "carmot",
+            quicken_report=getattr(args, "quicken_report", False),
+            **common,
+        )
+    return {
+        "recommend": RecommendRequest,
+        "psec": PsecRequest,
+        "overhead": OverheadRequest,
+    }[kind](**common)
 
 
-def _session_for(args: argparse.Namespace) -> Session:
-    """The artifact-backed session for this invocation.
-
-    ``--no-cache`` runs everything live; so does ``--print-pass-stats``,
-    whose per-pass timing report only exists on a live compile, and
-    ``--trace``, whose execution trace only exists when the VM actually
-    runs (a profile cache hit would skip it).
-    """
-    enabled = not getattr(args, "no_cache", False) \
-        and not getattr(args, "print_pass_stats", False) \
-        and not getattr(args, "trace", False)
-    return Session(cache_dir=getattr(args, "cache_dir", None),
-                   enabled=enabled)
-
-
-def _carmot_options(args: argparse.Namespace) -> Optional[CarmotOptions]:
-    """CarmotOptions from CLI flags, or None when every flag is at its
-    default (so cache keys match pre-flag invocations).  ``--prescreen``
-    is the only option-level flag; the session expands the ``carmot``
-    alias from these options, which is what puts the ``prescreen`` pass
-    into the pipeline."""
-    mode = getattr(args, "prescreen", "off") or "off"
-    if mode == "off":
-        return None
-    return CarmotOptions(prescreen=mode)
-
-
-def _profiling_pipeline(args: argparse.Namespace) -> str:
-    """The pipeline text for recommend/psec: full CARMOT by default, an
-    explicit ``--passes`` pipeline when given (must instrument)."""
-    if getattr(args, "passes", None):
-        names = parse_pipeline(args.passes)
-        if "instrument" not in names and "naive-instrument" not in names:
-            raise ReproError(
-                f"pipeline {args.passes!r} has no instrumenter; append "
-                "'instrument' (or 'naive-instrument') to profile"
-            )
-        return args.passes
-    return "carmot"
-
-
-def _print_cache_stages(args: argparse.Namespace, stages) -> None:
-    if getattr(args, "cache_stats", False):
-        summary = " ".join(f"{k}={v}" for k, v in stages.items())
-        print(f"cache: {summary}", file=sys.stderr)
-
-
-def _print_tier2_stats(program: CompiledProgram) -> None:
-    """Codegen fusion + runtime quickening counters, one greppable line.
-
-    Fusion is a canonical-stream property; quickened/dequickened counts
-    are only non-zero once the execution streams have been warmed (i.e.
-    after the program ran on the bytecode engine).
-    """
-    from repro.vm.bytecode import fused_site_counts, quickened_op_count
-
-    bc = getattr(program, "bytecode", None) \
-        or getattr(program.module, "_bytecode", None)
-    if bc is None:
-        return
-    fused = fused_site_counts(bc)
-    print(f"tier2: fused_sites={fused['total']} "
-          f"(cmp_br={fused['cmp_br']} load_bin={fused['load_bin']} "
-          f"bin_store={fused['bin_store']} "
-          f"probe_access={fused['probe_access']}) "
-          f"quickened_ops={quickened_op_count(bc)} "
-          f"dequicken_count={bc.dequicken_count}")
-
-
-def _maybe_print_pass_stats(args: argparse.Namespace,
-                            program: CompiledProgram) -> None:
-    if getattr(args, "print_pass_stats", False) \
-            and program.pass_report is not None:
-        print(program.pass_report.render())
-        _print_tier2_stats(program)
-        print()
-
-
-def _profile(args: argparse.Namespace, source: str):
-    """Session-backed compile+profile shared by recommend/psec."""
-    session = _session_for(args)
-    profiled = session.profile(
-        source, _profiling_pipeline(args), abstraction=args.abstraction,
-        options=_carmot_options(args),
-        name=args.file, entry=args.entry, vm=args.vm,
-        trace=getattr(args, "trace", False), **_run_kwargs(args),
-    )
-    _maybe_print_pass_stats(args, profiled.program)
-    _print_cache_stages(args, profiled.stages)
-    return profiled
-
-
-def _cmd_recommend(args: argparse.Namespace) -> int:
+def _cmd_execute(args: argparse.Namespace) -> int:
+    """Shared body of recommend/psec/overhead/ir/dis: build the request,
+    execute it in-process, render the response document."""
     source = _read(args.file)
-    profiled = _profile(args, source)
-    program, result, runtime = \
-        profiled.program, profiled.result, profiled.runtime
-    _print_degradation(runtime)
-    if args.show_output:
-        print("program output:", " ".join(result.output))
-    if not program.module.rois:
-        print("no #pragma carmot roi annotations found", file=sys.stderr)
-        return 1
-    for roi_id, roi in sorted(program.module.rois.items()):
-        abstraction = args.abstraction or roi.abstraction
-        if abstraction is None:
-            print(f"ROI {roi.name}: no abstraction requested; skipping")
-            continue
-        print(recommend(runtime, roi_id, abstraction).render())
-        print()
-    return 0
+    request = _build_request(args.kind, args, source)
+    core = ServiceCore(cache_dir=getattr(args, "cache_dir", None))
+    doc = core.execute(request)
+    return _emit(render_response(doc, RenderOptions.from_args(args)))
 
 
-def _cmd_psec(args: argparse.Namespace) -> int:
+def _cmd_request(args: argparse.Namespace) -> int:
+    """Like ``_cmd_execute``, over a serve daemon's socket instead of
+    in-process — same request document, same renderer, same bytes."""
     source = _read(args.file)
-    profiled = _profile(args, source)
-    program, runtime = profiled.program, profiled.runtime
-    _print_degradation(runtime)
-    if getattr(args, "json", False):
-        # Canonical sets-level document: exactly the psec_sets_digest
-        # material plus ROI names/invocations, so two invocations with
-        # identical Sets print byte-identical JSON (the CI prescreen
-        # smoke job byte-diffs hybrid vs fully-dynamic output).
-        sets_doc = psec_sets_doc(runtime.psecs)
-        doc = {
-            "sets_digest": psec_sets_digest(runtime.psecs),
-            "rois": {
-                str(roi_id): {
-                    "name": program.module.rois[roi_id].name,
-                    "invocations": runtime.psecs[roi_id].invocations,
-                    "sets": sets_doc[str(roi_id)],
-                }
-                for roi_id in sorted(runtime.psecs)
-            },
-        }
-        print(json.dumps(doc, indent=2, sort_keys=True))
+    request = _build_request(args.kind, args, source)
+    with ServiceClient(args.socket, namespace=args.namespace,
+                       timeout=args.timeout) as client:
+        doc = client.request(request)
+    return _emit(render_response(doc, RenderOptions.from_args(args)))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.stats:
+        with ServiceClient(args.socket) as client:
+            doc = client.stats()
+        print(json.dumps(doc["body"], indent=2, sort_keys=True))
         return 0
-    for roi_id, psec in sorted(runtime.psecs.items()):
-        roi = program.module.rois[roi_id]
-        status = " [degraded: " + ", ".join(psec.degradation_reasons) + "]" \
-            if psec.degraded else ""
-        print(f"ROI {roi.name} ({roi.loc}) — {psec.invocations} "
-              f"invocations{status}")
-        for set_name, keys in psec.sets().items():
-            names = sorted(
-                str(describe_pse(k, psec, runtime.asmt)) for k in keys
-            )
-            print(f"  {set_name:9s}: {', '.join(names) or '-'}")
-        if psec.reachability.edge_count:
-            cycles = psec.reachability.find_cycles()
-            print(f"  reachability: {psec.reachability.node_count} nodes, "
-                  f"{psec.reachability.edge_count} edges, "
-                  f"{len(cycles)} cycle(s)")
-        print()
-    return 0
+    if args.shutdown:
+        with ServiceClient(args.socket) as client:
+            doc = client.shutdown()
+        body = doc["body"]
+        print(f"daemon draining {body['draining']} in-flight request(s); "
+              f"served {body['served']} total")
+        return 0
 
+    import asyncio
 
-def _cmd_overhead(args: argparse.Namespace) -> int:
-    source = _read(args.file)
-    kwargs = _run_kwargs(args)
-    session = _session_for(args)
-    # Baseline builds have no profile artifact (nothing but a RunResult);
-    # the compile is still cached, the VM run is live.
-    base_compile = session.compile(source, "baseline", name=args.file)
-    base, _ = base_compile.program.run(
-        entry=args.entry, budgets=kwargs.get("budgets"), vm=args.vm)
-    naive, _ = _leg(session, args, source, "naive", kwargs)
-    # --passes swaps out the CARMOT leg of the comparison; --prescreen
-    # only steers this leg (naive has no plan to prescreen).
-    carmot, _ = _leg(session, args, source, _profiling_pipeline(args),
-                     kwargs, options=_carmot_options(args))
-    print(f"baseline cost : {base.cost}")
-    print(f"naive         : {naive.cost}  ({naive.cost / base.cost:.1f}x)")
-    print(f"carmot        : {carmot.cost}  ({carmot.cost / base.cost:.1f}x)")
-    print(f"gap           : {naive.cost / carmot.cost:.1f}x")
-    return 0
+    from repro.service.daemon import ServeDaemon
 
-
-def _leg(session: Session, args: argparse.Namespace, source: str,
-         pipeline: str, kwargs, options: Optional[CarmotOptions] = None):
-    """One instrumented leg of the overhead comparison, profile-cached."""
-    profiled = session.profile(
-        source, pipeline, abstraction=args.abstraction, name=args.file,
-        options=options, entry=args.entry, vm=args.vm, **kwargs,
+    daemon = ServeDaemon(
+        socket_path=args.socket,
+        cache_dir=getattr(args, "cache_dir", None),
+        workers=args.workers,
+        queue_bound=args.queue,
+        queue_policy=args.queue_policy,
     )
-    _maybe_print_pass_stats(args, profiled.program)
-    return profiled.result, profiled.runtime
 
+    def announce(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
 
-def _cmd_ir(args: argparse.Namespace) -> int:
-    source = _read(args.file)
-    session = _session_for(args)
-    if getattr(args, "passes", None):
-        # An explicit pipeline overrides --mode.
-        pipeline: Optional[str] = args.passes
-    elif args.mode in ("baseline", "naive", "carmot"):
-        pipeline = args.mode
-    else:
-        pipeline = None  # plain: frontend only
-    if pipeline is None:
-        module, _, _ = session.frontend(source, args.file)
-    else:
-        compiled = session.compile(source, pipeline, args.abstraction,
-                                   options=_carmot_options(args),
-                                   name=args.file)
-        _maybe_print_pass_stats(args, compiled.program)
-        _print_cache_stages(args, compiled.stages)
-        module = compiled.program.module
-    print(module)
-    return 0
-
-
-def _cmd_dis(args: argparse.Namespace) -> int:
-    from repro.vm.bytecode import dequicken_module, disassemble
-
-    source = _read(args.file)
-    session = _session_for(args)
-    pipeline = args.passes if getattr(args, "passes", None) else args.mode
-    compiled = session.compile(source, pipeline, args.abstraction,
-                               options=_carmot_options(args), name=args.file)
-    program = compiled.program
-    stages = dict(compiled.stages)
-    stages["codegen"] = session.codegen(program, compiled.ir_digest)
-    _maybe_print_pass_stats(args, program)
-    _print_cache_stages(args, stages)
-    bytecode = program.bytecode
-    if args.quicken_report:
-        # Run once on the bytecode engine so quickenable sites are
-        # rewritten, disassemble with the report markers, then restore
-        # the canonical execution streams.  The listing itself always
-        # renders the canonical stream — it is byte-identical before
-        # and after the run.
-        try:
-            program.run(vm="bytecode", entry=args.entry,
-                        **_run_kwargs(args))
-        except ReproError as error:
-            print(f"note: run aborted ({error}); quickening still "
-                  f"reflects every function that was entered",
-                  file=sys.stderr)
-        print(disassemble(bytecode, quicken_report=True))
-        dequicken_module(bytecode)
-    else:
-        print(disassemble(bytecode))
+    try:
+        asyncio.run(daemon.run(announce=announce))
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -338,6 +161,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"bytes     : {stats.payload_bytes}")
         for kind in sorted(stats.by_kind):
             print(f"  {kind:8s}: {stats.by_kind[kind]}")
+        for name in sorted(stats.by_namespace):
+            ns = stats.by_namespace[name]
+            print(f"namespace {name}: {ns['entries']} entr(ies), "
+                  f"{ns['payload_bytes']} bytes")
         print(f"session   : {stats.hits} hit(s), {stats.misses} miss(es), "
               f"{stats.evicted_corrupt} corrupt entr(ies) evicted")
         return 0
@@ -349,6 +176,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         report = store.verify()
         print(f"checked {report['checked']} entr(ies): {report['ok']} ok, "
               f"{report['evicted']} corrupt (evicted)")
+        for name in sorted(report["by_namespace"]):
+            ns = report["by_namespace"][name]
+            print(f"  {name}: {ns['checked']} checked, {ns['ok']} ok, "
+                  f"{ns['evicted']} evicted")
         return 0 if report["evicted"] == 0 else 1
     raise ReproError(f"unknown cache action {args.action!r}")
 
@@ -359,7 +190,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     report = run_bench(quick=args.quick, seed=args.seed,
                        min_speedup=args.min_speedup, shards=args.shards,
                        vm_min_speedup=args.vm_min_speedup,
-                       proc_min_speedup=args.proc_min_speedup)
+                       proc_min_speedup=args.proc_min_speedup,
+                       serve_min_speedup=args.serve_min_speedup)
     print(render_bench(report))
     if args.out != "-":
         with open(args.out, "w") as handle:
@@ -476,7 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(rec)
     tracing(rec)
     rec.add_argument("--show-output", action="store_true")
-    rec.set_defaults(func=_cmd_recommend)
+    rec.add_argument(
+        "--json", action="store_true",
+        help="print the structured service response document instead of "
+             "the human rendering",
+    )
+    rec.set_defaults(func=_cmd_execute, kind="recommend")
 
     psec = sub.add_parser("psec", help="print the raw PSEC sets")
     common(psec)
@@ -487,17 +324,22 @@ def build_parser() -> argparse.ArgumentParser:
              "psec_sets_digest material) instead of the human listing — "
              "byte-identical across runs with identical Sets",
     )
-    psec.set_defaults(func=_cmd_psec)
+    psec.set_defaults(func=_cmd_execute, kind="psec")
 
     over = sub.add_parser("overhead", help="baseline/naive/carmot cost")
     common(over)
-    over.set_defaults(func=_cmd_overhead)
+    over.add_argument(
+        "--json", action="store_true",
+        help="print the structured service response document instead of "
+             "the human rendering",
+    )
+    over.set_defaults(func=_cmd_execute, kind="overhead")
 
     ir = sub.add_parser("ir", help="dump IR")
     common(ir)
     ir.add_argument("--mode", default="plain",
                     choices=["plain", "baseline", "naive", "carmot"])
-    ir.set_defaults(func=_cmd_ir)
+    ir.set_defaults(func=_cmd_execute, kind="ir")
 
     dis = sub.add_parser(
         "dis", help="disassemble the lowered register bytecode"
@@ -514,7 +356,68 @@ def build_parser() -> argparse.ArgumentParser:
              "stays canonical: quickened code never leaves the execution "
              "stream)",
     )
-    dis.set_defaults(func=_cmd_dis)
+    dis.set_defaults(func=_cmd_execute, kind="dis")
+
+    serve = sub.add_parser(
+        "serve",
+        help="profiling daemon on a Unix socket (length-prefixed JSON)",
+        epilog="The daemon multiplexes concurrent requests onto one "
+               "artifact store; clients pick a --namespace for an "
+               "isolated cache partition.  Past the queue bound the "
+               "'shed' policy answers with a canonical overloaded "
+               "response (clients exit 2); 'block' parks requests until "
+               "a worker frees up.  --stats and --shutdown talk to an "
+               "already-running daemon on the same socket.",
+    )
+    serve.add_argument("--socket", required=True, metavar="PATH",
+                       help="Unix socket path to listen on (or to query "
+                            "with --stats/--shutdown)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="artifact cache location (default: "
+                            "$REPRO_CACHE_DIR or ./.repro-cache)")
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="worker threads executing requests (default 4)")
+    serve.add_argument("--queue", type=int, default=16, metavar="N",
+                       help="admission bound on queued requests "
+                            "(0 = unbounded; default 16)")
+    serve.add_argument("--queue-policy", default="shed",
+                       choices=["block", "shed"],
+                       help="past the bound: park new requests (block) or "
+                            "answer overloaded immediately (shed, default)")
+    serve.add_argument("--stats", action="store_true",
+                       help="print a running daemon's metrics as JSON")
+    serve.add_argument("--shutdown", action="store_true",
+                       help="ask a running daemon to drain and exit")
+    serve.set_defaults(func=_cmd_serve)
+
+    req = sub.add_parser(
+        "request",
+        help="send one request to a running serve daemon",
+        epilog="Output is byte-identical to running the same subcommand "
+               "locally: both render the same service response document.",
+    )
+    req.add_argument("kind", choices=list(REQUEST_KINDS),
+                     help="which subcommand to run remotely")
+    common(req)
+    tracing(req)
+    req.add_argument("--socket", required=True, metavar="PATH",
+                     help="Unix socket of the serve daemon")
+    req.add_argument("--namespace", default=None, metavar="NAME",
+                     help="cache namespace on the daemon's store "
+                          "(isolated partition per client)")
+    req.add_argument("--timeout", type=float, default=60.0, metavar="S",
+                     help="socket timeout in seconds (default 60)")
+    req.add_argument("--json", action="store_true",
+                     help="print the structured response document "
+                          "(psec: the canonical sets-level document)")
+    req.add_argument("--show-output", action="store_true")
+    req.add_argument("--mode", default=None,
+                     choices=["plain", "baseline", "naive", "carmot"],
+                     help="ir/dis pipeline mode (defaults: ir=plain, "
+                          "dis=carmot)")
+    req.add_argument("--quicken-report", action="store_true",
+                     help="dis only: annotate runtime-quickened sites")
+    req.set_defaults(func=_cmd_request)
 
     bench = sub.add_parser(
         "bench",
@@ -525,7 +428,10 @@ def build_parser() -> argparse.ArgumentParser:
                "tree-walk oracle, with byte-identical PSEC digests "
                "required and fused_sites/quickened_ops/dequicken_count "
                "reported on the vm_tier2 line; --proc-min-speedup covers "
-               "the packed_procs drain leg (report-only by default). "
+               "the packed_procs drain leg (report-only by default); "
+               "--serve-min-speedup gates warm vs cold sustained req/s "
+               "through the serve daemon, with response digests required "
+               "identical to the in-process service core. "
                "Every stream leg of the JSON report embeds its drain "
                "meta (workers, batches, respawns, replays).",
     )
@@ -552,6 +458,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "gate is skipped automatically on single-core "
                             "hosts — digest equality and crash recovery "
                             "are always enforced)")
+    bench.add_argument("--serve-min-speedup", type=float, default=3.0,
+                       metavar="X",
+                       help="fail unless warm daemon requests sustain X "
+                            "the cold req/s under concurrent clients "
+                            "(digest identity vs the in-process core is "
+                            "always enforced)")
     bench.add_argument("--out", default="BENCH_runtime.json", metavar="PATH",
                        help="write the JSON report here ('-' = stdout only)")
     bench.set_defaults(func=_cmd_bench)
@@ -560,9 +472,9 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="artifact cache maintenance (stats/clear/verify)"
     )
     cache.add_argument("action", choices=["stats", "clear", "verify"],
-                       help="stats: entries/bytes per kind; clear: delete "
-                            "all entries; verify: re-hash and evict "
-                            "corrupt entries")
+                       help="stats: entries/bytes per kind and namespace; "
+                            "clear: delete all entries; verify: re-hash "
+                            "and evict corrupt entries, per namespace")
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="artifact cache location (default: "
                             "$REPRO_CACHE_DIR or ./.repro-cache)")
@@ -573,8 +485,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Default subcommand: treat `repro foo.mc` as `repro recommend foo.mc`.
-    known = {"recommend", "psec", "overhead", "ir", "dis", "bench", "cache",
-             "-h", "--help", "--version"}
+    known = {"recommend", "psec", "overhead", "ir", "dis", "serve",
+             "request", "bench", "cache", "-h", "--help", "--version"}
     if argv and argv[0] not in known:
         argv.insert(0, "recommend")
     parser = build_parser()

@@ -1,0 +1,52 @@
+"""Transport-agnostic service layer over the session cache.
+
+The package splits into the layers of ISSUE's service stack:
+
+- :mod:`repro.service.requests` — typed request dataclasses and the
+  :class:`RunOptions` resolution logic shared by every entry point;
+- :mod:`repro.service.core` — :class:`ServiceCore`, the single
+  orchestration path that executes requests and returns response
+  documents;
+- :mod:`repro.service.format` — pure renderers from response documents
+  to the CLI's historical byte-exact output;
+- :mod:`repro.service.wire` / :mod:`repro.service.client` /
+  :mod:`repro.service.daemon` — the ``repro serve`` Unix-socket
+  transport.
+"""
+
+from repro.service.client import ServiceClient, ServiceUnavailable, wait_for_daemon
+from repro.service.core import ServiceCore, error_response, response_digest
+from repro.service.daemon import ServeDaemon, ServeMetrics
+from repro.service.format import RenderOptions, Rendered, render_response
+from repro.service.requests import (
+    REQUEST_KINDS,
+    DisRequest,
+    IrRequest,
+    OverheadRequest,
+    PsecRequest,
+    RecommendRequest,
+    RunOptions,
+    parse_request_doc,
+)
+
+__all__ = [
+    "REQUEST_KINDS",
+    "DisRequest",
+    "IrRequest",
+    "OverheadRequest",
+    "PsecRequest",
+    "RecommendRequest",
+    "Rendered",
+    "RenderOptions",
+    "RunOptions",
+    "ServeDaemon",
+    "ServeMetrics",
+    "ServiceClient",
+    "ServiceCore",
+    "ServiceUnavailable",
+    "error_response",
+    "parse_request_doc",
+    "render_response",
+    "response_digest",
+    "wait_for_daemon",
+]

@@ -1,0 +1,383 @@
+"""Transport-agnostic service core: execute requests, return documents.
+
+:class:`ServiceCore` is the single orchestration path over the session
+layer.  It executes a typed request (:mod:`repro.service.requests`)
+against a :class:`~repro.session.Session` and returns a **response
+document** — a plain JSON-able dict — instead of printing.  The CLI
+renders that document to the historical byte-exact output
+(:mod:`repro.service.format`); the ``repro serve`` daemon ships it over
+a socket; tests digest it.
+
+Response envelope::
+
+    {"kind": "...", "ok": true, "service_schema": 1,
+     "body": {...},   # deterministic: equal runs produce equal bodies
+     "meta": {...}}   # volatile: cache stage hits, pass timings, ...
+
+The body/meta split is the digest contract: :func:`response_digest`
+hashes ``kind`` + ``body`` only, so a cold daemon response, a warm one,
+and an in-process run of the same request all share one digest — that is
+what the serve bench leg and the differential suites gate on.  Every
+response is normalized through JSON (the session's normalize-through-
+artifact idiom, applied to the wire): the in-process caller sees exactly
+the object a socket client would parse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro._version import SERVICE_SCHEMA_VERSION
+from repro.abstractions import describe_pse, recommend
+from repro.compiler import CompiledProgram
+from repro.errors import ReproError
+from repro.runtime.psec_json import psec_sets_digest, psec_sets_doc
+from repro.service.requests import (
+    DisRequest,
+    IrRequest,
+    OverheadRequest,
+    PsecRequest,
+    RecommendRequest,
+    RunOptions,
+    parse_request_doc,
+)
+from repro.session import Session
+
+
+def response_digest(doc: Dict[str, object]) -> str:
+    """SHA-256 over the deterministic part of a response document.
+
+    Meta (cache stage hits, pass timings, queue waits) is excluded: the
+    digest witnesses *what was computed*, not how it was served, so warm
+    and cold paths — and the daemon vs the in-process core — must agree.
+    """
+    material = {"kind": doc.get("kind"), "body": doc.get("body")}
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def error_response(kind: Optional[str], error_type: str,
+                   message: str) -> Dict[str, object]:
+    """The canonical failure envelope (also used for ``overloaded``)."""
+    return {
+        "kind": kind,
+        "ok": False,
+        "service_schema": SERVICE_SCHEMA_VERSION,
+        "error": {"type": error_type, "message": message},
+        "body": None,
+        "meta": {},
+    }
+
+
+def _tier2_line(program: CompiledProgram) -> Optional[str]:
+    """Codegen fusion + runtime quickening counters, one greppable line.
+
+    Fusion is a canonical-stream property; quickened/dequickened counts
+    are only non-zero once the execution streams have been warmed (i.e.
+    after the program ran on the bytecode engine).
+    """
+    from repro.vm.bytecode import fused_site_counts, quickened_op_count
+
+    bc = getattr(program, "bytecode", None) \
+        or getattr(program.module, "_bytecode", None)
+    if bc is None:
+        return None
+    fused = fused_site_counts(bc)
+    return (f"tier2: fused_sites={fused['total']} "
+            f"(cmp_br={fused['cmp_br']} load_bin={fused['load_bin']} "
+            f"bin_store={fused['bin_store']} "
+            f"probe_access={fused['probe_access']}) "
+            f"quickened_ops={quickened_op_count(bc)} "
+            f"dequicken_count={bc.dequicken_count}")
+
+
+def _pass_stats_block(options: RunOptions,
+                      program: CompiledProgram) -> Optional[str]:
+    """The exact stdout block ``--print-pass-stats`` historically emitted
+    (report, optional tier-2 line, trailing blank line)."""
+    if not options.print_pass_stats or program.pass_report is None:
+        return None
+    out = io.StringIO()
+    print(program.pass_report.render(), file=out)
+    tier2 = _tier2_line(program)
+    if tier2 is not None:
+        print(tier2, file=out)
+    print(file=out)
+    return out.getvalue()
+
+
+class ServiceCore:
+    """Executes service requests against one artifact store.
+
+    One core serves many requests; each request gets a fresh
+    :class:`Session` honoring its options (``no_cache`` etc.), all
+    sessions sharing the core's cache directory and namespace.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 namespace: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self.namespace = namespace
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, request) -> Dict[str, object]:
+        """Execute a typed request; returns the response document.
+
+        Raises :class:`ReproError` on request/toolchain errors — wrap
+        with :meth:`execute_doc` for the never-raises wire behaviour.
+        """
+        handler = {
+            "recommend": self._recommend,
+            "psec": self._psec,
+            "overhead": self._overhead,
+            "ir": self._ir,
+            "dis": self._dis,
+        }[request.kind]
+        body, meta = handler(request)
+        doc = {
+            "kind": request.kind,
+            "ok": True,
+            "service_schema": SERVICE_SCHEMA_VERSION,
+            "body": body,
+            "meta": meta,
+        }
+        # Normalize through the wire format: the in-process caller and a
+        # socket client must be handed indistinguishable objects.
+        return json.loads(json.dumps(doc))
+
+    def execute_doc(self, doc: Dict[str, object]) -> Dict[str, object]:
+        """Wire entry point: request document in, response document out.
+
+        Never raises for request-shaped failures — toolchain errors
+        come back as the canonical error envelope.
+        """
+        kind = doc.get("kind") if isinstance(doc, dict) else None
+        try:
+            request = parse_request_doc(doc)
+            return self.execute(request)
+        except ReproError as error:
+            return error_response(kind, "error", str(error))
+        except Exception as error:  # noqa: BLE001 — daemon must not die
+            return error_response(
+                kind, "internal", f"{type(error).__name__}: {error}"
+            )
+
+    # -- shared stages -------------------------------------------------------
+
+    def _session(self, options: RunOptions) -> Session:
+        return Session(cache_dir=self.cache_dir,
+                       enabled=options.session_enabled,
+                       namespace=self.namespace)
+
+    def _profile(self, request):
+        """Session-backed compile+profile shared by recommend/psec."""
+        options = request.options
+        session = self._session(options)
+        profiled = session.profile(
+            request.source, options.profiling_pipeline(),
+            abstraction=options.abstraction,
+            options=options.carmot_options(),
+            name=request.name, entry=options.entry, vm=options.vm,
+            trace=options.trace, **options.run_kwargs(),
+        )
+        meta: Dict[str, object] = {"stages": dict(profiled.stages)}
+        block = _pass_stats_block(options, profiled.program)
+        if block is not None:
+            meta["pass_stats"] = [block]
+        return profiled, meta
+
+    @staticmethod
+    def _degradation_fields(runtime) -> Dict[str, object]:
+        degraded = bool(runtime is not None and runtime.degraded)
+        return {
+            "degraded": degraded,
+            "degradation": runtime.degradation.summary() if degraded
+            else None,
+        }
+
+    # -- kind: recommend -----------------------------------------------------
+
+    def _recommend(self, request: RecommendRequest):
+        profiled, meta = self._profile(request)
+        program, result, runtime = \
+            profiled.program, profiled.result, profiled.runtime
+        rois: List[Dict[str, object]] = []
+        for roi_id, roi in sorted(program.module.rois.items()):
+            abstraction = request.options.abstraction or roi.abstraction
+            rois.append({
+                "id": roi_id,
+                "name": roi.name,
+                "abstraction": abstraction,
+                "rendered": (
+                    recommend(runtime, roi_id, abstraction).render()
+                    if abstraction is not None else None
+                ),
+            })
+        body = {
+            "output": [str(token) for token in result.output],
+            "rois": rois,
+            **self._degradation_fields(runtime),
+        }
+        return body, meta
+
+    # -- kind: psec ----------------------------------------------------------
+
+    def _psec(self, request: PsecRequest):
+        profiled, meta = self._profile(request)
+        program, runtime = profiled.program, profiled.runtime
+        sets_doc = psec_sets_doc(runtime.psecs)
+        rois: List[Dict[str, object]] = []
+        for roi_id, psec in sorted(runtime.psecs.items()):
+            roi = program.module.rois[roi_id]
+            reachability = None
+            if psec.reachability.edge_count:
+                reachability = {
+                    "nodes": psec.reachability.node_count,
+                    "edges": psec.reachability.edge_count,
+                    "cycles": len(psec.reachability.find_cycles()),
+                }
+            rois.append({
+                "id": roi_id,
+                "name": roi.name,
+                "loc": str(roi.loc),
+                "invocations": psec.invocations,
+                "degraded": bool(psec.degraded),
+                "degradation_reasons": list(psec.degradation_reasons),
+                # Human-listing view: described PSE names per set, in the
+                # canonical psec.sets() set order.
+                "sets": {
+                    set_name: sorted(
+                        str(describe_pse(k, psec, runtime.asmt))
+                        for k in keys
+                    )
+                    for set_name, keys in psec.sets().items()
+                },
+                # Machine view: the raw key tuples (psec --json material).
+                "sets_keys": sets_doc[str(roi_id)],
+                "reachability": reachability,
+            })
+        body = {
+            "sets_digest": psec_sets_digest(runtime.psecs),
+            "rois": rois,
+            **self._degradation_fields(runtime),
+        }
+        return body, meta
+
+    # -- kind: overhead ------------------------------------------------------
+
+    def _overhead(self, request: OverheadRequest):
+        options = request.options
+        kwargs = options.run_kwargs()
+        session = self._session(options)
+        # Baseline builds have no profile artifact (nothing but a
+        # RunResult); the compile is still cached, the VM run is live.
+        base_compile = session.compile(
+            request.source, "baseline", name=request.name
+        )
+        base, _ = base_compile.program.run(
+            entry=options.entry, budgets=kwargs.get("budgets"),
+            vm=options.vm,
+        )
+        pass_stats: List[str] = []
+        legs: Dict[str, object] = {}
+        # --passes swaps out the CARMOT leg of the comparison; --prescreen
+        # only steers this leg (naive has no plan to prescreen).
+        for leg_name, pipeline, carmot_options in (
+            ("naive", "naive", None),
+            ("carmot", options.profiling_pipeline(),
+             options.carmot_options()),
+        ):
+            profiled = session.profile(
+                request.source, pipeline, abstraction=options.abstraction,
+                name=request.name, options=carmot_options,
+                entry=options.entry, vm=options.vm, **kwargs,
+            )
+            block = _pass_stats_block(options, profiled.program)
+            if block is not None:
+                pass_stats.append(block)
+            legs[leg_name] = profiled.result.cost
+        body = {
+            "baseline_cost": base.cost,
+            "naive_cost": legs["naive"],
+            "carmot_cost": legs["carmot"],
+        }
+        meta: Dict[str, object] = {}
+        if pass_stats:
+            meta["pass_stats"] = pass_stats
+        return body, meta
+
+    # -- kind: ir ------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_ir_pipeline(request: IrRequest) -> Optional[str]:
+        if request.options.passes:
+            # An explicit pipeline overrides the mode.
+            return request.options.passes
+        if request.mode in ("baseline", "naive", "carmot"):
+            return request.mode
+        return None  # plain: frontend only
+
+    def _ir(self, request: IrRequest):
+        options = request.options
+        session = self._session(options)
+        pipeline = self._resolve_ir_pipeline(request)
+        meta: Dict[str, object] = {}
+        if pipeline is None:
+            module, _, _ = session.frontend(request.source, request.name)
+        else:
+            compiled = session.compile(
+                request.source, pipeline, options.abstraction,
+                options=options.carmot_options(), name=request.name,
+            )
+            block = _pass_stats_block(options, compiled.program)
+            if block is not None:
+                meta["pass_stats"] = [block]
+            meta["stages"] = dict(compiled.stages)
+            module = compiled.program.module
+        body = {"ir": str(module), "pipeline": pipeline}
+        return body, meta
+
+    # -- kind: dis -----------------------------------------------------------
+
+    def _dis(self, request: DisRequest):
+        from repro.vm.bytecode import dequicken_module, disassemble
+
+        options = request.options
+        session = self._session(options)
+        pipeline = options.passes if options.passes else request.mode
+        compiled = session.compile(
+            request.source, pipeline, options.abstraction,
+            options=options.carmot_options(), name=request.name,
+        )
+        program = compiled.program
+        stages = dict(compiled.stages)
+        stages["codegen"] = session.codegen(program, compiled.ir_digest)
+        meta: Dict[str, object] = {"stages": stages}
+        block = _pass_stats_block(options, program)
+        if block is not None:
+            meta["pass_stats"] = [block]
+        bytecode = program.bytecode
+        note = None
+        if request.quicken_report:
+            # Run once on the bytecode engine so quickenable sites are
+            # rewritten, disassemble with the report markers, then restore
+            # the canonical execution streams.  The listing itself always
+            # renders the canonical stream — it is byte-identical before
+            # and after the run.
+            try:
+                program.run(vm="bytecode", entry=options.entry,
+                            **options.run_kwargs())
+            except ReproError as error:
+                note = (f"note: run aborted ({error}); quickening still "
+                        f"reflects every function that was entered")
+            listing = disassemble(bytecode, quicken_report=True)
+            dequicken_module(bytecode)
+        else:
+            listing = disassemble(bytecode)
+        body = {"listing": listing, "quicken_report": request.quicken_report,
+                "note": note}
+        return body, meta

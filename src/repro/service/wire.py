@@ -1,0 +1,119 @@
+"""Length-prefixed JSON framing for the serve socket.
+
+One frame = a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Both sides speak the same frames; a connection
+carries any number of request/response pairs in order (the client
+pipelines at most one request at a time).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+
+_HEADER = struct.Struct(">I")
+
+#: Frame-size sanity bound: large enough for any profile document the
+#: toolchain produces, small enough to stop a garbage header from
+#: triggering a gigabyte allocation.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class WireError(ReproError):
+    """A malformed or oversized frame."""
+
+
+def encode_frame(doc: Dict[str, object]) -> bytes:
+    # No sort_keys: key order is part of the document (the psec "sets"
+    # mapping carries the canonical input/output/cloneable/transfer
+    # order renderers print).  Digests canonicalize separately.
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> Dict[str, object]:
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise WireError(f"bad frame payload: {error}") from None
+    if not isinstance(doc, dict):
+        raise WireError("frame payload must be a JSON object")
+    return doc
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame header announces {length} bytes "
+            f"(bound {MAX_FRAME_BYTES})"
+        )
+
+
+# -- blocking (client) side --------------------------------------------------
+
+
+def read_frame_sync(sock: socket.socket) -> Optional[Dict[str, object]]:
+    """One frame off a blocking socket; None on clean EOF at a frame
+    boundary, :class:`WireError` on a truncated frame."""
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    payload = _recv_exact(sock, length, eof_ok=False)
+    return _decode_payload(payload)
+
+
+def write_frame_sync(sock: socket.socket, doc: Dict[str, object]) -> None:
+    sock.sendall(encode_frame(doc))
+
+
+def _recv_exact(sock: socket.socket, n: int,
+                eof_ok: bool) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise WireError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- asyncio (daemon) side ---------------------------------------------------
+
+
+async def read_frame(reader) -> Optional[Dict[str, object]]:
+    """One frame off an asyncio StreamReader; None on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise WireError("connection closed mid-frame") from None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise WireError("connection closed mid-frame") from None
+    return _decode_payload(payload)
+
+
+async def write_frame(writer, doc: Dict[str, object]) -> None:
+    writer.write(encode_frame(doc))
+    await writer.drain()

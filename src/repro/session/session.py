@@ -127,15 +127,22 @@ class ProfileResult:
 
 
 class Session:
-    """One toolchain session over one artifact store."""
+    """One toolchain session over one artifact store.
+
+    ``namespace`` selects a per-client partition of the store (the
+    ``repro serve`` daemon opens one namespaced session per client);
+    ``None`` is the default root partition.
+    """
 
     def __init__(
         self,
         cache_dir: Optional[str] = None,
         enabled: bool = True,
+        namespace: Optional[str] = None,
     ) -> None:
         self.store: Optional[ArtifactStore] = (
-            ArtifactStore.open(cache_dir) if enabled else None
+            ArtifactStore.open(cache_dir, namespace=namespace)
+            if enabled else None
         )
 
     # -- stage: frontend (parse + lower) ------------------------------------

@@ -2,7 +2,8 @@
 
 Layout (``STORE_VERSION`` 1)::
 
-    <root>/objects/<first two key chars>/<key>.json
+    <root>/objects/<first two key chars>/<key>.json          # default namespace
+    <root>/ns/<namespace>/objects/<first two>/<key>.json     # client namespaces
 
 Each entry is a small JSON envelope around the artifact payload::
 
@@ -13,12 +14,24 @@ Keys are SHA-256 hex digests computed by :mod:`repro.session.keys`; the
 payload is an already-canonical artifact string (serialized IR, profile,
 …), so equal content is stored once no matter how it was produced.
 
+**Namespaces** partition the store by client, not by content: the same
+key may exist in several namespaces, each a fully independent cache (the
+``repro serve`` daemon opens one namespaced view per connected client).
+A store opened with ``namespace=None`` reads and writes the default
+namespace; maintenance operations (``stats``/``verify``/``clear``)
+always walk the *whole* root — default plus every client namespace —
+and report per-namespace breakdowns.
+
 Robustness contract (exercised by the cache tests and the CI cache-smoke
 job): a corrupt entry — truncated file, invalid JSON, bad envelope,
 payload hash mismatch, foreign store version — is **evicted and treated
-as a miss**, never raised to the caller.  Writes are atomic
-(tmp + ``os.replace``), so a crashed writer leaves at worst a stray tmp
-file, not a half-written entry.
+as a miss**, never raised to the caller.  Writes are atomic (an
+``O_EXCL``-unique tempfile per writer + ``os.replace``), so concurrent
+writers never interleave bytes and a crashed writer leaves at worst a
+stray tmp file, not a half-written entry.  Every walker tolerates
+entries vanishing mid-iteration (a concurrent ``clear`` or eviction):
+multi-client access — many threads or processes hammering one root —
+degrades to misses and recomputation, never to exceptions.
 """
 
 from __future__ import annotations
@@ -26,10 +39,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro._version import STORE_VERSION
 
@@ -37,6 +52,38 @@ from repro._version import STORE_VERSION
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Reserved display name of the root (non-namespaced) partition in
+#: per-namespace breakdowns.
+DEFAULT_NAMESPACE = "default"
+
+#: Namespace names come over the serve socket from untrusted clients and
+#: become path components: a strict shape check is the traversal guard.
+_NAMESPACE_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class NamespaceError(ValueError):
+    """An invalid cache namespace name."""
+
+
+def validate_namespace(namespace: str) -> str:
+    """Return ``namespace`` if it is a legal name, else raise.
+
+    Legal names are 1-64 chars of ``[A-Za-z0-9._-]`` starting with an
+    alphanumeric — never ``.``/``..``, a path separator, or the reserved
+    ``default`` (which names the root partition).
+    """
+    if namespace == DEFAULT_NAMESPACE:
+        raise NamespaceError(
+            f"namespace {DEFAULT_NAMESPACE!r} is reserved for the root "
+            f"partition; open the store with namespace=None instead"
+        )
+    if not _NAMESPACE_RE.match(namespace):
+        raise NamespaceError(
+            f"invalid namespace {namespace!r}: expected 1-64 chars of "
+            f"[A-Za-z0-9._-] starting with an alphanumeric"
+        )
+    return namespace
 
 
 def resolve_cache_dir(cache_dir: Optional[str] = None) -> Path:
@@ -52,7 +99,8 @@ def resolve_cache_dir(cache_dir: Optional[str] = None) -> Path:
 @dataclass
 class StoreStats:
     """Per-store counters; hits/misses/puts are this process only,
-    entries/bytes reflect the store on disk."""
+    entries/bytes reflect the whole store root on disk (every
+    namespace), with ``by_namespace`` breaking them down."""
 
     hits: int = 0
     misses: int = 0
@@ -61,38 +109,77 @@ class StoreStats:
     entries: int = 0
     payload_bytes: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
+    by_namespace: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
 
 class ArtifactStore:
-    """Content-addressed artifact store rooted at one directory."""
+    """Content-addressed artifact store rooted at one directory.
 
-    def __init__(self, root: Path) -> None:
+    ``namespace`` selects the partition ``get``/``put`` operate on
+    (``None`` = the root partition); maintenance walks every partition.
+    """
+
+    def __init__(self, root: Path, namespace: Optional[str] = None) -> None:
         self.root = Path(root)
+        self.namespace = (
+            validate_namespace(namespace) if namespace is not None else None
+        )
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._puts = 0
         self._evicted = 0
 
     @classmethod
-    def open(cls, cache_dir: Optional[str] = None) -> "ArtifactStore":
-        return cls(resolve_cache_dir(cache_dir))
+    def open(cls, cache_dir: Optional[str] = None,
+             namespace: Optional[str] = None) -> "ArtifactStore":
+        return cls(resolve_cache_dir(cache_dir), namespace=namespace)
 
     # -- paths --------------------------------------------------------------
 
-    def _objects_dir(self) -> Path:
-        return self.root / "objects"
+    def _ns_dir(self) -> Path:
+        return self.root / "ns"
+
+    def _objects_dir(self, namespace: Optional[str] = None) -> Path:
+        namespace = namespace if namespace is not None else self.namespace
+        if namespace is None:
+            return self.root / "objects"
+        return self._ns_dir() / namespace / "objects"
 
     def _entry_path(self, key: str) -> Path:
         return self._objects_dir() / key[:2] / f"{key}.json"
 
-    def _entry_files(self) -> Iterator[Path]:
-        objects = self._objects_dir()
-        if not objects.is_dir():
+    def namespaces(self) -> List[str]:
+        """Client namespaces present on disk (the root partition is not
+        listed; it always exists conceptually)."""
+        ns_dir = self._ns_dir()
+        try:
+            return sorted(
+                p.name for p in ns_dir.iterdir()
+                if p.is_dir() and _NAMESPACE_RE.match(p.name)
+            )
+        except OSError:
+            return []
+
+    def _entry_files(self, namespace: Optional[str] = None) -> Iterator[Path]:
+        """Entries of one partition; tolerates concurrent deletion of
+        buckets and files (a racing ``clear``/eviction)."""
+        objects = self._objects_dir(namespace)
+        try:
+            buckets = sorted(p for p in objects.iterdir() if p.is_dir())
+        except OSError:
             return
-        for bucket in sorted(objects.iterdir()):
-            if not bucket.is_dir():
+        for bucket in buckets:
+            try:
+                yield from sorted(bucket.glob("*.json"))
+            except OSError:
                 continue
-            yield from sorted(bucket.glob("*.json"))
+
+    def _partitions(self) -> Iterator[Tuple[str, Optional[str]]]:
+        """(display name, namespace arg) for every partition on disk."""
+        yield DEFAULT_NAMESPACE, None
+        for name in self.namespaces():
+            yield name, name
 
     # -- core API -----------------------------------------------------------
 
@@ -103,20 +190,29 @@ class ArtifactStore:
         try:
             raw = path.read_text()
         except (FileNotFoundError, OSError):
-            self._misses += 1
+            self._count("_misses")
             return None
         payload = self._validate(raw, expect_key=key)
         if payload is None:
             self._evict(path)
-            self._misses += 1
+            self._count("_misses")
             return None
-        self._hits += 1
+        self._count("_hits")
         return payload
 
     def put(self, key: str, payload: str, kind: str) -> None:
         """Store ``payload`` under ``key`` atomically.  Best-effort: an
         unwritable cache directory degrades to a no-op, it never breaks
-        the computation whose result it was caching."""
+        the computation whose result it was caching.
+
+        Safe under concurrent multi-client access: ``mkstemp`` opens the
+        scratch file with ``O_EXCL`` so no two writers ever share one,
+        and ``os.replace`` makes the final rename atomic — a racing
+        reader sees either the old complete entry or the new complete
+        entry, never a torn write.  Concurrent writers of the same key
+        are idempotent (content-addressed payloads are equal by
+        construction); last rename wins.
+        """
         envelope = json.dumps(
             {
                 "store_version": STORE_VERSION,
@@ -144,61 +240,89 @@ class ArtifactStore:
                     pass
                 raise
         except OSError:
+            # A concurrent clear may remove the bucket between mkdir and
+            # mkstemp/replace; the entry is simply not cached this time.
             return
-        self._puts += 1
+        self._count("_puts")
 
     # -- maintenance --------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry in every namespace; returns how many were
+        removed."""
         removed = 0
-        for path in list(self._entry_files()):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for _, namespace in self._partitions():
+            for path in list(self._entry_files(namespace)):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
-    def verify(self) -> Dict[str, int]:
-        """Re-hash every entry; evict the corrupt ones.
+    def verify(self) -> Dict[str, object]:
+        """Re-hash every entry in every namespace; evict the corrupt ones.
 
-        Returns ``{"checked": n, "ok": n, "evicted": n}``.
+        Returns ``{"checked": n, "ok": n, "evicted": n, "by_namespace":
+        {name: {"checked": n, "ok": n, "evicted": n}}}``.
         """
-        checked = ok = evicted = 0
-        for path in list(self._entry_files()):
-            checked += 1
-            try:
-                raw = path.read_text()
-            except OSError:
-                self._evict(path)
-                evicted += 1
-                continue
-            if self._validate(raw, expect_key=path.stem) is None:
-                self._evict(path)
-                evicted += 1
-            else:
-                ok += 1
-        return {"checked": checked, "ok": ok, "evicted": evicted}
+        totals = {"checked": 0, "ok": 0, "evicted": 0}
+        by_namespace: Dict[str, Dict[str, int]] = {}
+        for display, namespace in self._partitions():
+            counts = {"checked": 0, "ok": 0, "evicted": 0}
+            for path in list(self._entry_files(namespace)):
+                try:
+                    raw = path.read_text()
+                except FileNotFoundError:
+                    continue  # concurrently evicted/cleared: not ours
+                except OSError:
+                    self._evict(path)
+                    counts["evicted"] += 1
+                    counts["checked"] += 1
+                    continue
+                counts["checked"] += 1
+                if self._validate(raw, expect_key=path.stem) is None:
+                    self._evict(path)
+                    counts["evicted"] += 1
+                else:
+                    counts["ok"] += 1
+            if namespace is not None or counts["checked"]:
+                by_namespace[display] = counts
+            for field_name in totals:
+                totals[field_name] += counts[field_name]
+        return {**totals, "by_namespace": by_namespace}
 
     def stats(self) -> StoreStats:
         stats = StoreStats(
             hits=self._hits, misses=self._misses, puts=self._puts,
             evicted_corrupt=self._evicted,
         )
-        for path in self._entry_files():
-            try:
-                doc = json.loads(path.read_text())
-                payload = doc["payload"]
-                kind = doc.get("kind", "?")
-            except (OSError, ValueError, KeyError, TypeError):
-                continue
-            stats.entries += 1
-            stats.payload_bytes += len(payload)
-            stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        for display, namespace in self._partitions():
+            entries = 0
+            payload_bytes = 0
+            for path in self._entry_files(namespace):
+                try:
+                    doc = json.loads(path.read_text())
+                    payload = doc["payload"]
+                    kind = doc.get("kind", "?")
+                except (OSError, ValueError, KeyError, TypeError):
+                    continue
+                entries += 1
+                payload_bytes += len(payload)
+                stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+            stats.entries += entries
+            stats.payload_bytes += payload_bytes
+            if namespace is not None or entries:
+                stats.by_namespace[display] = {
+                    "entries": entries, "payload_bytes": payload_bytes,
+                }
         return stats
 
     # -- internals ----------------------------------------------------------
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
 
     def _validate(self, raw: str, expect_key: str) -> Optional[str]:
         try:
@@ -222,8 +346,8 @@ class ArtifactStore:
         try:
             path.unlink()
         except OSError:
-            pass
-        self._evicted += 1
+            pass  # a concurrent evictor won the race: same outcome
+        self._count("_evicted")
 
 
 def _sha256(text: str) -> str:

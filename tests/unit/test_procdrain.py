@@ -268,14 +268,16 @@ class TestDrainConfig:
     def test_cli_implies_packed_and_rejects_object(self):
         import argparse
 
-        from repro.cli import _run_kwargs
         from repro.errors import ReproError
+        from repro.service import RunOptions
 
-        implied = _run_kwargs(argparse.Namespace(drain="procs"))
+        implied = RunOptions.from_args(
+            argparse.Namespace(drain="procs")
+        ).run_kwargs()
         assert implied["event_encoding"] == "packed"
-        explicit = _run_kwargs(argparse.Namespace(drain="procs",
-                                                  event_encoding="packed"))
+        explicit = RunOptions.from_args(
+            argparse.Namespace(drain="procs", event_encoding="packed")
+        ).run_kwargs()
         assert explicit["drain"] == "procs"
         with pytest.raises(ReproError, match="cannot combine"):
-            _run_kwargs(argparse.Namespace(drain="procs",
-                                           event_encoding="object"))
+            RunOptions(drain="procs", event_encoding="object").run_kwargs()

@@ -95,7 +95,11 @@ class TestArtifactStore:
         store.put(KEY_A, "good", "ir")
         store.put(KEY_B, "bad", "profile")
         store._entry_path(KEY_B).write_text("{not json")
-        assert store.verify() == {"checked": 2, "ok": 1, "evicted": 1}
+        assert store.verify() == {
+            "checked": 2, "ok": 1, "evicted": 1,
+            "by_namespace": {"default": {"checked": 2, "ok": 1,
+                                         "evicted": 1}},
+        }
         assert store.get(KEY_A) == "good"
 
     def test_clear_removes_everything(self, tmp_path):
