@@ -8,7 +8,7 @@ cache key derived from it changes with it (stale entries are simply
 never looked up again — see :mod:`repro.session.keys`).
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Format version of serialized IR modules (:mod:`repro.ir.serialize`).
 IR_SCHEMA_VERSION = 1
@@ -35,3 +35,9 @@ PRESCREEN_SCHEMA_VERSION = 1
 #: format of the ``repro serve`` daemon and the envelope returned by
 #: :class:`repro.service.core.ServiceCore` (:mod:`repro.service`).
 SERVICE_SCHEMA_VERSION = 1
+
+#: Format version of recommendation documents — the schema-versioned
+#: JSON emitted by :mod:`repro.recommend` and cached as the session
+#: ``recommend`` artifact kind.  Bump whenever the doc shape, the role
+#: classifier contract, or a recommender's structured payload changes.
+RECOMMEND_SCHEMA_VERSION = 1

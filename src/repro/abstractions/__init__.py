@@ -1,11 +1,17 @@
-"""Abstraction recommendation generators (§3.2): PSEC → source-level advice."""
+"""Abstraction recommendation generators (§3.2): PSEC → source-level advice.
+
+The generator functions and recommendation dataclasses live here; the
+registry that selects, sequences, and caches them lives in
+:mod:`repro.recommend`.  :func:`recommend` is the stable single-ROI
+entry point — it now routes through the registry, so an unknown
+abstraction name reports the registered recommender names instead of a
+bare "unsupported".
+"""
 
 from typing import Optional
 
-from repro.errors import RecommendationError
 from repro.runtime.engine import CarmotRuntime
 from repro.abstractions.base import (
-    ABSTRACTION_REQUIREMENTS,
     PsecRequirements,
     Recommendation,
     describe_pse,
@@ -26,33 +32,28 @@ from repro.abstractions.smart_pointers import (
 )
 from repro.abstractions.stats import StatsRecommendation, generate_stats
 
-_GENERATORS = {
-    "parallel_for": generate_parallel_for,
-    "task": generate_task,
-    "smart_pointers": generate_smart_pointers,
-    "stats": generate_stats,
-}
-
 
 def recommend(runtime: CarmotRuntime, roi_id: int,
               abstraction: Optional[str] = None) -> Recommendation:
     """Generate the recommendation for one profiled ROI.
 
     ``abstraction`` overrides the one named in the ROI's pragma.
+    Resolution goes through the recommender registry
+    (:mod:`repro.recommend`): an unknown name raises
+    :class:`~repro.errors.RecommendationError` listing the registered
+    recommenders.
     """
-    module = runtime.module
-    if roi_id not in module.rois:
-        raise RecommendationError(f"unknown ROI id {roi_id}")
-    roi = module.rois[roi_id]
-    chosen = abstraction or roi.abstraction
-    if chosen is None:
-        raise RecommendationError(
-            f"ROI {roi.name} names no abstraction; pass one explicitly"
-        )
-    if chosen not in _GENERATORS:
-        raise RecommendationError(f"unsupported abstraction {chosen!r}")
-    psec = runtime.psecs[roi_id]
-    return _GENERATORS[chosen](module, psec, runtime.asmt, roi)
+    from repro.recommend.doc import generate
+    return generate(runtime, roi_id, abstraction)
+
+
+def __getattr__(name: str):
+    # Table 1 regenerates from the recommender registry's declarations;
+    # keep the historical import path working without an import cycle.
+    if name == "ABSTRACTION_REQUIREMENTS":
+        from repro.recommend.registry import table1_requirements
+        return table1_requirements()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [

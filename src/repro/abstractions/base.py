@@ -1,8 +1,10 @@
 """Shared infrastructure for abstraction recommendation generators.
 
 Table 1 of the paper — which PSEC components each abstraction needs — is
-encoded in :data:`ABSTRACTION_REQUIREMENTS` and drives both the
-instrumentation policies and the Table 1 regeneration test.
+declared per-recommender in :mod:`repro.recommend.recommenders`;
+``ABSTRACTION_REQUIREMENTS`` (regenerated from the registry, importable
+from here for compatibility) drives both the instrumentation policies
+and the Table 1 regeneration test.
 """
 
 from __future__ import annotations
@@ -24,13 +26,14 @@ class PsecRequirements:
     reachability_graph: bool
 
 
-#: Table 1, verbatim.
-ABSTRACTION_REQUIREMENTS: Dict[str, PsecRequirements] = {
-    "omp_parallel_for": PsecRequirements(True, True, False),
-    "omp_task": PsecRequirements(True, False, False),
-    "smart_pointers": PsecRequirements(True, False, True),
-    "stats": PsecRequirements(True, False, False),
-}
+def __getattr__(name: str):
+    # Table 1 regenerates from the registry's per-recommender
+    # declarations; resolving it lazily keeps the generator modules (which
+    # the registry imports) free of an import cycle.
+    if name == "ABSTRACTION_REQUIREMENTS":
+        from repro.recommend.registry import table1_requirements
+        return table1_requirements()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass

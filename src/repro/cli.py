@@ -216,6 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["parallel_for", "task", "smart_pointers",
                                 "stats"],
                        help="override the abstraction named in the pragma")
+        p.add_argument(
+            "--recommenders", default=None, metavar="SELECTION",
+            help="recommender selection à la --passes, e.g. 'roles', "
+                 "'paper,reduction_hint' or 'all,-stats' (aliases: paper, "
+                 "roles, all; '-name' removes a recommender; default "
+                 "'roles' adds the role-driven hints to the JSON document "
+                 "without changing the rendered recommendation)",
+        )
         p.add_argument("--entry", default="main")
         p.add_argument(
             "--budget", default=None, metavar="SPEC",

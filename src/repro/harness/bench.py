@@ -417,6 +417,72 @@ def _measure_cache(workload, warm_repeats: int = 3) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Recommendation doc: warm vs cold
+# ---------------------------------------------------------------------------
+
+#: A warm doc is one store read against a cold evidence-gather +
+#: recommender run (on an already-warm profile, so only the recommend
+#: stage is timed); below this the recommend artifact is not actually
+#: being served.  Measured margins are 30-80x.
+_RECOMMEND_MIN_SPEEDUP = 3.0
+
+
+def _measure_recommend(workload, warm_repeats: int = 3) -> Dict[str, object]:
+    """Cold-vs-warm RecommendationDoc timings for one workload.
+
+    The profile is built first (warm for both passes), so the cold
+    number isolates what the recommend stage adds: analysis-manager
+    gathering, role/container classification, and every selected
+    recommender.  The doc digests gate byte-identity — a cache-served
+    doc must be indistinguishable from a recomputed one.
+    """
+    from repro.session import Session
+
+    source = workload.test_source("openmp")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-rec-") as cache:
+        session = Session(cache_dir=cache)
+        profiled = session.profile(source, "carmot",
+                                   abstraction="parallel_for",
+                                   name=workload.name)
+        start = time.perf_counter()
+        cold_doc, cold_stage = session.recommend_doc(profiled)
+        cold_s = time.perf_counter() - start
+        warm_s = None
+        warm_doc, warm_stage = None, None
+        for _ in range(warm_repeats):
+            start = time.perf_counter()
+            warm_doc, warm_stage = session.recommend_doc(profiled)
+            elapsed = time.perf_counter() - start
+            warm_s = elapsed if warm_s is None else min(warm_s, elapsed)
+
+    def doc_digest(doc) -> str:
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    digest_cold = doc_digest(cold_doc)
+    digest_warm = doc_digest(warm_doc)
+    role_kinds = sorted({
+        rec["kind"]
+        for roi in cold_doc["rois"] for rec in roi["recommendations"]
+        if rec.get("role_driven")
+    })
+    return {
+        "workload": workload.name,
+        "rois": len(cold_doc["rois"]),
+        "recommenders": cold_doc["recommenders"],
+        "role_driven_kinds": role_kinds,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup_x": round(cold_s / warm_s, 2) if warm_s else None,
+        "stage_cold": cold_stage,
+        "stage_warm": warm_stage,
+        "doc_digest_cold": digest_cold,
+        "doc_digest_warm": digest_warm,
+        "doc_identical": digest_cold == digest_warm,
+    }
+
+
+# ---------------------------------------------------------------------------
 # VM dispatch: register bytecode vs IR tree-walk
 # ---------------------------------------------------------------------------
 
@@ -903,6 +969,14 @@ def run_bench(
         and serve_row["speedup_x"] >= serve_min_speedup
     )
 
+    recommend_row = _measure_recommend(by_name["bt"])
+    recommend_ok = bool(
+        recommend_row["doc_identical"]
+        and recommend_row["stage_warm"] == "hit"
+        and recommend_row["speedup_x"] is not None
+        and recommend_row["speedup_x"] >= _RECOMMEND_MIN_SPEEDUP
+    )
+
     checks = {
         "min_speedup": min_speedup,
         "speedup": best_speedup,
@@ -942,9 +1016,14 @@ def run_bench(
         "serve_clients": serve_row["clients"],
         "serve_digest_identical": serve_row["digest_identical"],
         "serve_ok": serve_ok,
+        "recommend_min_speedup": _RECOMMEND_MIN_SPEEDUP,
+        "recommend_speedup": recommend_row["speedup_x"],
+        "recommend_doc_identical": recommend_row["doc_identical"],
+        "recommend_ok": recommend_ok,
         "passed": bool(
             digests_match and best_speedup >= min_speedup and cache_ok
             and vm_ok and procs_ok and prescreen_ok and serve_ok
+            and recommend_ok
         ),
     }
     return {
@@ -963,6 +1042,7 @@ def run_bench(
         "prescreen": prescreen_rows,
         "proc_recovery": recovery_row,
         "serve": serve_row,
+        "recommend": recommend_row,
         "checks": checks,
     }
 
@@ -1076,6 +1156,16 @@ def render_bench(report: Dict[str, object]) -> str:
         f"{'identical' if srv['digest_identical'] else 'DIVERGED'}, "
         f"{srv['daemon']['overloaded']} overloaded"
     )
+    rdoc = report["recommend"]
+    lines.append("")
+    lines.append(
+        f"recommend: {rdoc['workload']} ({rdoc['rois']} ROI(s), "
+        f"role-driven kinds {', '.join(rdoc['role_driven_kinds']) or '-'}) "
+        f"-> cold {rdoc['cold_s']:.4f}s, warm {rdoc['warm_s']:.4f}s "
+        f"({rdoc['speedup_x']:.2f}x, stage {rdoc['stage_cold']}->"
+        f"{rdoc['stage_warm']}), doc "
+        f"{'identical' if rdoc['doc_identical'] else 'DIVERGED'}"
+    )
     checks = report["checks"]
     verdict = "PASS" if checks["passed"] else "FAIL"
     lines.append("")
@@ -1095,6 +1185,9 @@ def render_bench(report: Dict[str, object]) -> str:
         f", prescreen_ok={checks['prescreen_ok']}, "
         f"serve {checks['serve_speedup']:.2f}x >= "
         f"{checks['serve_min_speedup']:.2f}x warm/cold req/s "
-        f"with digest_identical={checks['serve_digest_identical']})"
+        f"with digest_identical={checks['serve_digest_identical']}, "
+        f"recommend {checks['recommend_speedup']:.2f}x >= "
+        f"{checks['recommend_min_speedup']:.2f}x warm/cold doc "
+        f"with doc_identical={checks['recommend_doc_identical']})"
     )
     return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Registry-driven recommendation stack: PSEC evidence → source advice.
+
+The recommendation analogue of :mod:`repro.passes`: generators register
+under string names (:mod:`repro.recommend.registry`), consume one ROI's
+:class:`~repro.recommend.evidence.Evidence` bundle (PSEC + ASMT + the
+shared analyses, plus the :mod:`repro.recommend.roles` classification
+layer), and emit into a schema-versioned RecommendationDoc
+(:mod:`repro.recommend.doc`) that the session caches as the
+``recommend`` artifact kind.
+"""
+
+from repro.recommend.doc import (
+    RECOMMEND_DOC_FORMAT,
+    build_recommendation_doc,
+    generate,
+)
+from repro.recommend.evidence import Evidence
+from repro.recommend.registry import (
+    DEFAULT_SELECTION,
+    RECOMMENDER_REGISTRY_VERSION,
+    Recommender,
+    create_recommender,
+    is_registered,
+    parse_selection,
+    recommender_registry_fingerprint,
+    register_alias,
+    register_recommender,
+    registered_alias_names,
+    registered_recommender_names,
+    table1_requirements,
+)
+from repro.recommend.roles import (
+    ROLE_NAMES,
+    ContainerSummary,
+    RoleInfo,
+    classify_roles,
+    summarize_containers,
+)
+
+__all__ = [
+    "RECOMMEND_DOC_FORMAT",
+    "build_recommendation_doc",
+    "generate",
+    "Evidence",
+    "DEFAULT_SELECTION",
+    "RECOMMENDER_REGISTRY_VERSION",
+    "Recommender",
+    "create_recommender",
+    "is_registered",
+    "parse_selection",
+    "recommender_registry_fingerprint",
+    "register_alias",
+    "register_recommender",
+    "registered_alias_names",
+    "registered_recommender_names",
+    "table1_requirements",
+    "ROLE_NAMES",
+    "ContainerSummary",
+    "RoleInfo",
+    "classify_roles",
+    "summarize_containers",
+]

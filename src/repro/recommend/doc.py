@@ -1,0 +1,135 @@
+"""Schema-versioned RecommendationDoc construction.
+
+One document per profiled program: for every ROI, the primary
+recommendation (the abstraction named in the pragma or forced by the
+request), the extra recommendations the selection asked for, and the
+role/container evidence both were derived from.  The document is plain
+canonical JSON — it is what ``repro recommend --json`` embeds, what the
+daemon ships, and what the session caches under the ``recommend``
+artifact kind (keyed on the profile digest, so a warm doc is
+byte-identical to a cold one).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro._version import RECOMMEND_SCHEMA_VERSION
+from repro.errors import RecommendationError
+from repro.passes.manager import AnalysisManager
+from repro.recommend.evidence import Evidence
+from repro.recommend.registry import create_recommender, parse_selection
+
+#: The ``format`` marker of every recommendation doc.
+RECOMMEND_DOC_FORMAT = "repro-recommendations"
+
+
+def generate(runtime, roi_id: int, abstraction: Optional[str] = None,
+             am: Optional[AnalysisManager] = None):
+    """Generate the primary recommendation for one profiled ROI.
+
+    The registry-backed engine behind ``repro.abstractions.recommend``:
+    ``abstraction`` overrides the one named in the ROI's pragma; an
+    unknown name raises :class:`RecommendationError` listing the
+    registered recommender names.
+    """
+    module = runtime.module
+    if roi_id not in module.rois:
+        raise RecommendationError(f"unknown ROI id {roi_id}")
+    roi = module.rois[roi_id]
+    chosen = abstraction or roi.abstraction
+    if chosen is None:
+        raise RecommendationError(
+            f"ROI {roi.name} names no abstraction; pass one explicitly"
+        )
+    recommender = create_recommender(chosen)
+    if roi_id not in runtime.psecs:
+        raise RecommendationError(
+            f"ROI {roi.name} was never invoked; no PSEC to recommend from"
+        )
+    evidence = Evidence.gather(runtime, roi_id, am=am)
+    recommendation = recommender.generate(evidence)
+    if recommendation is None:
+        raise RecommendationError(
+            f"recommender {chosen!r} produced no recommendation for "
+            f"ROI {roi.name}"
+        )
+    return recommendation
+
+
+def build_recommendation_doc(
+    runtime,
+    abstraction: Optional[str] = None,
+    recommender_names: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """The RecommendationDoc for every ROI of a profiled program.
+
+    ``recommender_names`` is the parsed ``--recommenders`` selection
+    (``None`` means the default selection); ``abstraction`` overrides
+    every ROI's pragma.  Primary generation failures propagate (exactly
+    like the pre-registry path); an *extra* recommender that raises is
+    recorded under the ROI's ``skipped`` list instead — an inapplicable
+    ride-along must not sink the document.
+    """
+    names: List[str] = (
+        parse_selection(None) if recommender_names is None
+        else list(recommender_names)
+    )
+    module = runtime.module
+    am = AnalysisManager(module)
+    rois: List[Dict[str, object]] = []
+    for roi_id, roi in sorted(module.rois.items()):
+        chosen = abstraction or roi.abstraction
+        evidence = (Evidence.gather(runtime, roi_id, am=am)
+                    if roi_id in runtime.psecs else None)
+        rendered: Optional[str] = None
+        recommendations: List[Dict[str, object]] = []
+        skipped: List[Dict[str, object]] = []
+        if chosen is not None:
+            recommendation = generate(runtime, roi_id, chosen, am=am)
+            recommender = create_recommender(chosen)
+            rendered = recommendation.render()
+            recommendations.append({
+                "kind": chosen,
+                "primary": True,
+                "role_driven": recommender.role_driven,
+                "rendered": rendered,
+                "data": recommender.payload(evidence, recommendation),
+            })
+        if evidence is not None:
+            for name in names:
+                if name == chosen:
+                    continue
+                recommender = create_recommender(name)
+                try:
+                    recommendation = recommender.generate(evidence)
+                except RecommendationError as error:
+                    skipped.append({"kind": name, "reason": str(error)})
+                    continue
+                if recommendation is None:
+                    continue
+                recommendations.append({
+                    "kind": name,
+                    "primary": False,
+                    "role_driven": recommender.role_driven,
+                    "rendered": recommendation.render(),
+                    "data": recommender.payload(evidence, recommendation),
+                })
+        rois.append({
+            "id": roi_id,
+            "name": roi.name,
+            "abstraction": chosen,
+            "rendered": rendered,
+            "roles": [role.doc() for role in evidence.roles]
+            if evidence is not None else [],
+            "containers": [c.doc() for c in evidence.containers]
+            if evidence is not None else [],
+            "recommendations": recommendations,
+            "skipped": skipped,
+        })
+    return {
+        "format": RECOMMEND_DOC_FORMAT,
+        "version": RECOMMEND_SCHEMA_VERSION,
+        "recommenders": names,
+        "rois": rois,
+    }

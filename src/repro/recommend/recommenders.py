@@ -1,0 +1,232 @@
+"""Registered recommenders: the paper's four generators plus role-driven kinds.
+
+The four paper abstractions (§3.2) delegate to the untouched generator
+functions in :mod:`repro.abstractions` — their rendered output is pinned
+byte-exactly by the golden tests — and declare their Table 1 row
+(``paper_name`` + ``requirements``) on the class, which is where
+:func:`repro.recommend.registry.table1_requirements` regenerates the
+table from.
+
+The role-driven kinds consume the :mod:`repro.recommend.roles` evidence
+layer and may decline to fire (``generate`` returns ``None`` when the
+ROI shows no matching roles):
+
+``reduction_hint``
+    accumulator/counter roles → suggest a reduction clause or per-thread
+    partials merged after the loop;
+``privatization_hint``
+    iterator/flag/temporary roles and per-invocation-scratch containers
+    → suggest per-thread copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.abstractions.base import PsecRequirements, Recommendation
+from repro.abstractions.openmp_for import generate_parallel_for
+from repro.abstractions.openmp_task import generate_task
+from repro.abstractions.smart_pointers import generate_smart_pointers
+from repro.abstractions.stats import generate_stats
+from repro.recommend.registry import (
+    Recommender,
+    register_alias,
+    register_recommender,
+)
+from repro.recommend.roles import ContainerSummary, RoleInfo
+
+
+# -- the paper's four, ported onto the registry ------------------------------
+
+
+@register_recommender
+class ParallelForRecommender(Recommender):
+    name = "parallel_for"
+    paper_name = "omp_parallel_for"
+    requirements = PsecRequirements(True, True, False)
+
+    def generate(self, evidence):
+        return generate_parallel_for(
+            evidence.module, evidence.psec, evidence.asmt, evidence.roi
+        )
+
+    def payload(self, evidence, rec) -> Dict[str, object]:
+        return {
+            "pragma": rec.pragma_text(),
+            "private": list(rec.private),
+            "firstprivate": list(rec.firstprivate),
+            "lastprivate": list(rec.lastprivate),
+            "shared": list(rec.shared),
+            "reductions": [[op, name] for op, name in sorted(rec.reductions)],
+            "ordered": [
+                {"pse": advice.pse_name, "sites": list(advice.use_sites)}
+                for advice in rec.ordered
+            ],
+            "clones": [
+                {"object": clone.object_name, "alloc_loc": clone.alloc_loc,
+                 "written_elements": clone.written_elements}
+                for clone in rec.clones
+            ],
+        }
+
+
+@register_recommender
+class TaskRecommender(Recommender):
+    name = "task"
+    paper_name = "omp_task"
+    requirements = PsecRequirements(True, False, False)
+
+    def generate(self, evidence):
+        return generate_task(
+            evidence.module, evidence.psec, evidence.asmt, evidence.roi
+        )
+
+    def payload(self, evidence, rec) -> Dict[str, object]:
+        return {
+            "pragma": rec.pragma_text(),
+            "depend_in": list(rec.depend_in),
+            "depend_out": list(rec.depend_out),
+        }
+
+
+@register_recommender
+class SmartPointersRecommender(Recommender):
+    name = "smart_pointers"
+    paper_name = "smart_pointers"
+    requirements = PsecRequirements(True, False, True)
+
+    def generate(self, evidence):
+        return generate_smart_pointers(
+            evidence.module, evidence.psec, evidence.asmt, evidence.roi
+        )
+
+    def payload(self, evidence, rec) -> Dict[str, object]:
+        return {
+            "cycles": [
+                {"members": list(cycle.members),
+                 "weak_source": cycle.weak_source,
+                 "weak_target": cycle.weak_target,
+                 "weak_store_loc": cycle.weak_store_loc}
+                for cycle in rec.cycles
+            ],
+        }
+
+
+@register_recommender
+class StatsRecommender(Recommender):
+    name = "stats"
+    paper_name = "stats"
+    requirements = PsecRequirements(True, False, False)
+
+    def generate(self, evidence):
+        return generate_stats(
+            evidence.module, evidence.psec, evidence.asmt, evidence.roi
+        )
+
+    def payload(self, evidence, rec) -> Dict[str, object]:
+        return {
+            "input": list(rec.input_class),
+            "output": list(rec.output_class),
+            "state": list(rec.state_class),
+            "localize": list(rec.localize),
+        }
+
+
+# -- role-driven kinds -------------------------------------------------------
+
+
+@dataclass
+class ReductionHintRecommendation(Recommendation):
+    """Accumulator/counter roles spelled as reduction guidance."""
+
+    hints: List[RoleInfo] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"ROI {self.roi.name} ({self.roi.loc}): "
+            "reduction structure detected:"
+        ]
+        for role in self.hints:
+            lines.append(
+                f"  - {role.name} ({role.role}): {role.detail} -> "
+                "reduction clause or per-thread partials merged after "
+                "the loop"
+            )
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+@register_recommender
+class ReductionHintRecommender(Recommender):
+    name = "reduction_hint"
+    requirements = PsecRequirements(True, False, False)
+    role_driven = True
+
+    def generate(self, evidence) -> Optional[ReductionHintRecommendation]:
+        hints = [role for role in evidence.roles
+                 if role.role in ("accumulator", "counter")]
+        if not hints:
+            return None
+        return ReductionHintRecommendation(roi=evidence.roi, hints=hints)
+
+    def payload(self, evidence, rec) -> Dict[str, object]:
+        return {"roles": [role.doc() for role in rec.hints]}
+
+
+@dataclass
+class PrivatizationHintRecommendation(Recommendation):
+    """Iterator/flag/temporary roles and scratch containers spelled as
+    per-thread privatization guidance."""
+
+    scalars: List[RoleInfo] = field(default_factory=list)
+    containers: List[ContainerSummary] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"ROI {self.roi.name} ({self.roi.loc}): "
+            "privatization candidates:"
+        ]
+        for role in self.scalars:
+            lines.append(f"  - {role.name} ({role.role}): {role.detail}")
+        for container in self.containers:
+            lines.append(
+                f"  - container {container.name} ({container.kind}, "
+                f"{container.elements} elements): per-invocation scratch; "
+                "give each thread a private copy"
+            )
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+@register_recommender
+class PrivatizationHintRecommender(Recommender):
+    name = "privatization_hint"
+    requirements = PsecRequirements(True, False, False)
+    role_driven = True
+
+    def generate(self, evidence) -> Optional[PrivatizationHintRecommendation]:
+        scalars = [role for role in evidence.roles
+                   if role.role in ("iterator", "flag", "temporary")]
+        containers = [container for container in evidence.containers
+                      if container.privatizable]
+        if not scalars and not containers:
+            return None
+        return PrivatizationHintRecommendation(
+            roi=evidence.roi, scalars=scalars, containers=containers
+        )
+
+    def payload(self, evidence, rec) -> Dict[str, object]:
+        return {
+            "roles": [role.doc() for role in rec.scalars],
+            "containers": [container.doc() for container in rec.containers],
+        }
+
+
+register_alias("paper", ["parallel_for", "task", "smart_pointers", "stats"])
+register_alias("roles", ["reduction_hint", "privatization_hint"])
+register_alias(
+    "all",
+    ["parallel_for", "task", "smart_pointers", "stats",
+     "reduction_hint", "privatization_hint"],
+)

@@ -1,0 +1,302 @@
+"""Variable-role classification and container-level summaries.
+
+The evidence layer between PSEC Sets and recommendation kinds, after
+"On the Concept of Variable Roles and its Use in Software Analysis": a
+variable's *role* in the ROI — how its value stream behaves — is what a
+source-level hint should talk about, not its raw FSA letters.  Roles are
+derived from the Sets plus static loop/induction facts:
+
+``iterator``
+    the loop-governing induction variable of the ROI's loop, or an
+    inner-loop induction slot recognised by the trip-count matcher;
+``counter``
+    a reducible ``+`` update chain whose step is one constant — an
+    accumulator whose increments are metronomic;
+``accumulator``
+    a reducible update chain (any OpenMP-supported operator) detected by
+    the same matcher the ``reduction(...)`` clause generation uses;
+``flag``
+    a consulted variable whose in-region writes store nothing but (at
+    most two distinct) constants;
+``temporary``
+    a Cloneable scalar that is neither Input nor Transfer and is never
+    read after the region — pure per-invocation scratch.
+
+Container summaries apply the same move one level up (after "From
+Low-Level Pointers to High-Level Containers"): the per-element memory
+PSEs of one allocation collapse into a single container verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.abstractions.base import describe_pse
+from repro.abstractions.reductions import detect_reduction
+from repro.analysis.loops import match_trip_count
+from repro.ir.instructions import BinOp, Load, Store
+from repro.ir.values import Const, Temp
+
+#: Role names, in classification-precedence order.
+ROLE_NAMES = ("iterator", "counter", "accumulator", "flag", "temporary")
+
+
+@dataclass(frozen=True)
+class RoleInfo:
+    """One classified variable role."""
+
+    key: Tuple
+    name: str
+    storage: str
+    role: str
+    detail: str
+
+    def doc(self) -> Dict[str, object]:
+        return {
+            "pse": self.name,
+            "key": list(self.key),
+            "storage": self.storage,
+            "role": self.role,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class ContainerSummary:
+    """One container's verdict over its per-element memory PSEs.
+
+    ``letters`` histograms the elements by their (sorted) Set letters;
+    ``verdict`` is the container-level collapse:
+
+    - ``read-shared`` — every element is Input-only; share freely;
+    - ``per-invocation-scratch`` — every element is Cloneable/Output
+      with no Input or Transfer; privatizable per thread;
+    - ``carried-dependence`` — every element carries Transfer state;
+      serialize or partition;
+    - ``uniform`` — elements agree on some other letter combination;
+    - ``mixed`` / ``mixed-carried`` — elements disagree (``-carried``
+      when at least one element transfers state).
+    """
+
+    obj_id: int
+    name: str
+    kind: str
+    size: int
+    elements: int
+    letters: Dict[str, int]
+    verdict: str
+
+    @property
+    def privatizable(self) -> bool:
+        return self.verdict == "per-invocation-scratch"
+
+    def doc(self) -> Dict[str, object]:
+        return {
+            "object": self.name,
+            "obj_id": self.obj_id,
+            "kind": self.kind,
+            "size_bytes": self.size,
+            "elements": self.elements,
+            "letters": dict(sorted(self.letters.items())),
+            "verdict": self.verdict,
+        }
+
+
+def classify_roles(evidence) -> List[RoleInfo]:
+    """Classify every variable PSE of the ROI, sorted by variable name.
+
+    Precedence when several patterns match: iterator, then counter /
+    accumulator, then flag, then temporary.  Variables matching no
+    pattern carry no role and are omitted.
+    """
+    function = evidence.function
+    region = evidence.region
+    roi = evidence.roi
+    psec, asmt = evidence.psec, evidence.asmt
+
+    slot_by_uid = {}
+    uid_by_slot = {}
+    if function is not None:
+        for uid, alloca in function.var_allocas.items():
+            if not alloca.promoted:
+                slot_by_uid[uid] = alloca.result
+                uid_by_slot[id(alloca.result)] = uid
+
+    governing_uid = roi.induction_var.uid if roi.induction_var else None
+    iterator_uids: Set[int] = set()
+    if governing_uid is not None:
+        iterator_uids.add(governing_uid)
+    if function is not None and region is not None:
+        for loop in evidence.loops:
+            if loop.header not in region.blocks:
+                continue
+            trip = match_trip_count(function, loop, None)
+            if trip is None:
+                continue
+            uid = uid_by_slot.get(id(trip.induction_alloca))
+            if uid is not None:
+                iterator_uids.add(uid)
+
+    read_after = evidence.read_after
+    roles: List[RoleInfo] = []
+    seen_uids: Set[int] = set()
+    for key, entry in sorted(psec.entries.items(), key=lambda kv: str(kv[0])):
+        letters = entry.letters
+        if not letters or key[0] != "var" or entry.var is None:
+            continue
+        desc = describe_pse(key, psec, asmt)
+        uid = entry.var.uid
+        seen_uids.add(uid)
+        slot = slot_by_uid.get(uid)
+
+        if uid in iterator_uids:
+            detail = ("loop-governing induction variable"
+                      if uid == governing_uid
+                      else "inner-loop induction variable")
+            roles.append(RoleInfo(key, desc.name, desc.storage,
+                                  "iterator", detail))
+            continue
+
+        if slot is not None and region is not None:
+            op = detect_reduction(function, region, slot)
+            if op is not None:
+                step = (_constant_update_step(region, slot)
+                        if op == "+" else None)
+                if step is not None:
+                    roles.append(RoleInfo(
+                        key, desc.name, desc.storage, "counter",
+                        f"'+' update with constant step {step}",
+                    ))
+                else:
+                    roles.append(RoleInfo(
+                        key, desc.name, desc.storage, "accumulator",
+                        f"reducible '{op}' update chain",
+                    ))
+                continue
+            values = _constant_store_values(region, slot)
+            if values is not None and len(set(values)) <= 2:
+                spelled = ", ".join(
+                    str(v) for v in sorted(set(values), key=repr)
+                )
+                roles.append(RoleInfo(
+                    key, desc.name, desc.storage, "flag",
+                    f"writes only constants {{{spelled}}}",
+                ))
+                continue
+
+        if ("C" in letters and "I" not in letters and "T" not in letters
+                and uid not in read_after):
+            roles.append(RoleInfo(
+                key, desc.name, desc.storage, "temporary",
+                "written before read each invocation; "
+                "never read after the region",
+            ))
+
+    # The loop-governing induction variable often has no dynamic entry
+    # (its reads are hoisted / statically claimed), but it is the ROI's
+    # iterator by construction — the same grounds the pragma generator
+    # privatizes it on.
+    if governing_uid is not None and governing_uid not in seen_uids:
+        var = roi.induction_var
+        roles.append(RoleInfo(
+            ("var", None), var.name, var.storage, "iterator",
+            "loop-governing induction variable",
+        ))
+    roles.sort(key=lambda role: (role.name, role.role))
+    return roles
+
+
+def summarize_containers(evidence) -> List[ContainerSummary]:
+    """Collapse per-element memory PSEs into one verdict per container."""
+    psec, asmt = evidence.psec, evidence.asmt
+    histograms: Dict[int, Dict[str, int]] = {}
+    for key, entry in psec.entries.items():
+        if key[0] != "mem":
+            continue
+        letters = entry.letters
+        if not letters:
+            continue
+        spelled = "".join(sorted(letters))
+        per_object = histograms.setdefault(key[1], {})
+        per_object[spelled] = per_object.get(spelled, 0) + 1
+    summaries: List[ContainerSummary] = []
+    for obj_id, histogram in histograms.items():
+        meta = asmt.get(obj_id)
+        summaries.append(ContainerSummary(
+            obj_id=obj_id,
+            name=meta.display_name if meta else f"obj#{obj_id}",
+            kind=meta.kind if meta else "?",
+            size=meta.size if meta else 0,
+            elements=sum(histogram.values()),
+            letters=histogram,
+            verdict=_container_verdict(histogram),
+        ))
+    summaries.sort(key=lambda s: (s.name, s.obj_id))
+    return summaries
+
+
+def _container_verdict(histogram: Dict[str, int]) -> str:
+    spellings = set(histogram)
+    if len(spellings) == 1:
+        letters = next(iter(spellings))
+        if letters == "I":
+            return "read-shared"
+        if "T" in letters:
+            return "carried-dependence"
+        if set(letters) <= {"C", "O"}:
+            return "per-invocation-scratch"
+        return "uniform"
+    if any("T" in letters for letters in spellings):
+        return "mixed-carried"
+    return "mixed"
+
+
+def _region_slot_accesses(region, slot):
+    loads: List[Load] = []
+    stores: List[Store] = []
+    binop_by_result: Dict[str, BinOp] = {}
+    for _, _, instr in region.instructions():
+        if isinstance(instr, Load) and instr.ptr is slot:
+            loads.append(instr)
+        elif isinstance(instr, Store) and instr.ptr is slot:
+            stores.append(instr)
+        elif isinstance(instr, BinOp):
+            binop_by_result[instr.result.name] = instr
+    return loads, stores, binop_by_result
+
+
+def _constant_update_step(region, slot) -> Optional[int]:
+    """The single constant ``+`` step of the slot's updates, or None."""
+    loads, stores, binop_by_result = _region_slot_accesses(region, slot)
+    if not stores:
+        return None
+    load_results = {load.result.name for load in loads}
+    steps: Set[int] = set()
+    for store in stores:
+        if not isinstance(store.value, Temp):
+            return None
+        binop = binop_by_result.get(store.value.name)
+        if binop is None or binop.op != "add":
+            return None
+        others = [v for v in (binop.lhs, binop.rhs)
+                  if not (isinstance(v, Temp) and v.name in load_results)]
+        if len(others) != 1 or not isinstance(others[0], Const) \
+                or not isinstance(others[0].value, int):
+            return None
+        steps.add(others[0].value)
+    return steps.pop() if len(steps) == 1 else None
+
+
+def _constant_store_values(region, slot) -> Optional[List[object]]:
+    """Values of the slot's in-region writes when *all* are constants
+    and the slot is also consulted (loaded) in the region."""
+    loads, stores, _ = _region_slot_accesses(region, slot)
+    if not stores or not loads:
+        return None
+    values: List[object] = []
+    for store in stores:
+        if not isinstance(store.value, Const):
+            return None
+        values.append(store.value.value)
+    return values

@@ -31,9 +31,10 @@ import json
 from typing import Dict, List, Optional, Tuple
 
 from repro._version import SERVICE_SCHEMA_VERSION
-from repro.abstractions import describe_pse, recommend
+from repro.abstractions import describe_pse
 from repro.compiler import CompiledProgram
 from repro.errors import ReproError
+from repro.recommend import parse_selection
 from repro.runtime.psec_json import psec_sets_digest, psec_sets_doc
 from repro.service.requests import (
     DisRequest,
@@ -174,7 +175,11 @@ class ServiceCore:
                        namespace=self.namespace)
 
     def _profile(self, request):
-        """Session-backed compile+profile shared by recommend/psec."""
+        """Session-backed compile+profile shared by recommend/psec.
+
+        Returns ``(profiled, meta, session)`` — the session is handed
+        back so follow-on stages (the recommend artifact) share it.
+        """
         options = request.options
         session = self._session(options)
         profiled = session.profile(
@@ -188,7 +193,7 @@ class ServiceCore:
         block = _pass_stats_block(options, profiled.program)
         if block is not None:
             meta["pass_stats"] = [block]
-        return profiled, meta
+        return profiled, meta, session
 
     @staticmethod
     def _degradation_fields(runtime) -> Dict[str, object]:
@@ -202,24 +207,20 @@ class ServiceCore:
     # -- kind: recommend -----------------------------------------------------
 
     def _recommend(self, request: RecommendRequest):
-        profiled, meta = self._profile(request)
-        program, result, runtime = \
-            profiled.program, profiled.result, profiled.runtime
-        rois: List[Dict[str, object]] = []
-        for roi_id, roi in sorted(program.module.rois.items()):
-            abstraction = request.options.abstraction or roi.abstraction
-            rois.append({
-                "id": roi_id,
-                "name": roi.name,
-                "abstraction": abstraction,
-                "rendered": (
-                    recommend(runtime, roi_id, abstraction).render()
-                    if abstraction is not None else None
-                ),
-            })
+        # Validate the selection before paying for the profile.
+        parse_selection(request.options.recommenders)
+        profiled, meta, session = self._profile(request)
+        result, runtime = profiled.result, profiled.runtime
+        doc, stage = session.recommend_doc(
+            profiled, abstraction=request.options.abstraction,
+            recommenders=request.options.recommenders,
+        )
+        meta["stages"] = {**meta["stages"], "recommend": stage}
         body = {
             "output": [str(token) for token in result.output],
-            "rois": rois,
+            "recommend_schema": doc["version"],
+            "recommenders": doc["recommenders"],
+            "rois": doc["rois"],
             **self._degradation_fields(runtime),
         }
         return body, meta
@@ -227,7 +228,7 @@ class ServiceCore:
     # -- kind: psec ----------------------------------------------------------
 
     def _psec(self, request: PsecRequest):
-        profiled, meta = self._profile(request)
+        profiled, meta, _ = self._profile(request)
         program, runtime = profiled.program, profiled.runtime
         sets_doc = psec_sets_doc(runtime.psecs)
         rois: List[Dict[str, object]] = []

@@ -38,13 +38,15 @@ _ENCODINGS = ("object", "packed")
 class RunOptions:
     """Everything that steers one profiled run, in CLI-flag shape.
 
-    Values stay in their flat, JSON-able spelling (the ``--budget`` and
-    ``--fault-plan`` strings, not the parsed dataclasses); parsing
-    happens on use so a request document validates identically whether
-    it came from argparse or off the wire.
+    Values stay in their flat, JSON-able spelling (the ``--budget``,
+    ``--fault-plan``, and ``--recommenders`` strings, not the parsed
+    dataclasses/name lists); parsing happens on use so a request
+    document validates identically whether it came from argparse or off
+    the wire.
     """
 
     abstraction: Optional[str] = None
+    recommenders: Optional[str] = None
     entry: str = "main"
     budget: Optional[str] = None
     fault_plan: Optional[str] = None

@@ -12,6 +12,7 @@ from repro.session.keys import (
     frontend_key,
     pipeline_key,
     profile_key,
+    recommend_key,
 )
 from repro.session.session import (
     STAGES,
@@ -41,5 +42,6 @@ __all__ = [
     "frontend_key",
     "pipeline_key",
     "profile_key",
+    "recommend_key",
     "resolve_cache_dir",
 ]

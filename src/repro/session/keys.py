@@ -6,18 +6,20 @@ inputs the stage's output depends on.  Stage keys compose — the pipeline
 key embeds the frontend artifact digest, the profile key embeds the
 post-pipeline IR digest — which yields the invalidation matrix for free:
 
-===================  ========  ========  =======
-changed input        frontend  pipeline  profile
-===================  ========  ========  =======
-source text          miss      miss      miss
-pass pipeline/opts   hit       miss      miss
-registry version     hit       miss      miss
-fault plan/budgets   hit       hit       miss
-event encoding       hit       hit       miss
-entry/args/costs     hit       hit       miss
-Python major.minor   miss      miss      miss
-schema versions      miss      miss      miss
-===================  ========  ========  =======
+===================  ========  ========  =======  =========
+changed input        frontend  pipeline  profile  recommend
+===================  ========  ========  =======  =========
+source text          miss      miss      miss     miss
+pass pipeline/opts   hit       miss      miss     miss
+registry version     hit       miss      miss     miss
+fault plan/budgets   hit       hit       miss     miss
+event encoding       hit       hit       miss     miss
+entry/args/costs     hit       hit       miss     miss
+recommender select   hit       hit       hit      miss
+recommender registry hit       hit       hit      miss
+Python major.minor   miss      miss      miss     miss
+schema versions      miss      miss      miss     miss
+===================  ========  ========  =======  =========
 
 The environment fingerprint (the stale-cache footgun fix) carries the
 Python ``major.minor`` and every artifact schema version, so 3.10 and
@@ -38,6 +40,7 @@ from repro._version import (
     IR_SCHEMA_VERSION,
     PRESCREEN_SCHEMA_VERSION,
     PROFILE_SCHEMA_VERSION,
+    RECOMMEND_SCHEMA_VERSION,
     STORE_VERSION,
 )
 from repro.passes.registry import registry_fingerprint
@@ -51,6 +54,7 @@ def environment_fingerprint() -> Dict[str, object]:
         "profile_schema": PROFILE_SCHEMA_VERSION,
         "bytecode_schema": BYTECODE_SCHEMA_VERSION,
         "prescreen_schema": PRESCREEN_SCHEMA_VERSION,
+        "recommend_schema": RECOMMEND_SCHEMA_VERSION,
         "store": STORE_VERSION,
     }
 
@@ -130,6 +134,36 @@ def profile_key(
         "ir": ir_digest,
         "mode": mode,
         "run": run_config,
+    })
+
+
+def recommend_key(
+    ir_digest: str,
+    profile_digest: str,
+    recommender_names: Sequence[str],
+    abstraction: Optional[str],
+    recommender_registry: str,
+) -> str:
+    """Key of the recommendation-doc stage output.
+
+    Keyed on the post-pipeline IR digest *and* the profile payload
+    digest: the doc consumes both dynamic evidence (Sets, ASMT) and
+    static evidence (loops, regions, induction facts), and two policies
+    can produce byte-identical profiles over different modules.
+    ``recommender_names`` is the *parsed* selection (aliases expanded,
+    removals applied) and ``abstraction`` the per-request override, so
+    ``--recommenders roles`` and its literal spelling share one
+    artifact.  ``recommender_registry`` is
+    :func:`repro.recommend.registry.recommender_registry_fingerprint`;
+    the environment fingerprint already carries
+    :data:`~repro._version.RECOMMEND_SCHEMA_VERSION`.
+    """
+    return _digest("recommend", {
+        "ir": ir_digest,
+        "profile": profile_digest,
+        "recommenders": list(recommender_names),
+        "abstraction": abstraction,
+        "registry": recommender_registry,
     })
 
 

@@ -77,10 +77,13 @@ from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
 #: Stage names, in flow order (parse/lower share the frontend artifact,
 #: pass-pipeline/instrument share the pipeline artifact, the prescreen
 #: static-facts sidecar rides with the pipeline artifact, lowering owns
-#: the bytecode artifact, and execute/characterize share the profile
+#: the bytecode artifact, execute/characterize share the profile
+#: artifact, and recommendation-doc generation owns the recommend
 #: artifact).  The ``prescreen`` stage only appears in ``stages`` when
-#: the compiled module carries ``probe.static`` instructions.
-STAGES = ("frontend", "pipeline", "prescreen", "codegen", "profile")
+#: the compiled module carries ``probe.static`` instructions; the
+#: ``recommend`` stage only for :meth:`Session.recommend_doc` callers.
+STAGES = ("frontend", "pipeline", "prescreen", "codegen", "profile",
+          "recommend")
 
 
 def _needs_static_facts(module: Module) -> bool:
@@ -120,6 +123,10 @@ class ProfileResult:
     #: Canonical serialized profile (byte-identical warm vs cold).
     payload: str
     stages: Dict[str, str]
+    #: Content digest of the post-pipeline IR artifact (recommend key
+    #: input — two policies can produce byte-identical profiles over
+    #: different modules).
+    ir_digest: str = ""
 
     @property
     def cached(self) -> bool:
@@ -356,6 +363,7 @@ class Session:
                 return ProfileResult(
                     result=profile.result, runtime=profile, program=program,
                     payload=payload, stages=stages,
+                    ir_digest=compile_result.ir_digest,
                 )
             except ProfileSerializeError:
                 payload = None
@@ -371,4 +379,60 @@ class Session:
         return ProfileResult(
             result=result, runtime=runtime, program=program,
             payload=payload, stages=stages,
+            ir_digest=compile_result.ir_digest,
         )
+
+    # -- stage: recommendation doc -------------------------------------------
+
+    def recommend_doc(
+        self,
+        profiled: ProfileResult,
+        abstraction: Optional[str] = None,
+        recommenders: Optional[str] = None,
+    ) -> Tuple[Dict[str, object], str]:
+        """The (cached) RecommendationDoc for a profiled program.
+
+        Returns ``(doc, "hit" | "miss")``.  Keyed on the post-pipeline
+        IR digest, the profile payload digest, the parsed recommender
+        selection, and the recommender registry fingerprint — so a warm
+        doc is byte-identical to a cold one and any recommender change
+        orphans old entries (the environment fingerprint carries
+        ``RECOMMEND_SCHEMA_VERSION``).
+        """
+        import json
+
+        from repro.recommend import (
+            RECOMMEND_DOC_FORMAT,
+            build_recommendation_doc,
+            parse_selection,
+            recommender_registry_fingerprint,
+        )
+        from repro._version import RECOMMEND_SCHEMA_VERSION
+        from repro.runtime.psec_json import profile_digest
+
+        names = parse_selection(recommenders)
+        key = keys.recommend_key(
+            profiled.ir_digest, profile_digest(profiled.payload), names,
+            abstraction, recommender_registry_fingerprint(),
+        )
+        payload = self.store.get(key) if self.store else None
+        if payload is not None:
+            try:
+                doc = json.loads(payload)
+            except ValueError:
+                payload = None
+            else:
+                if (isinstance(doc, dict)
+                        and doc.get("format") == RECOMMEND_DOC_FORMAT
+                        and doc.get("version") == RECOMMEND_SCHEMA_VERSION):
+                    return doc, "hit"
+                payload = None
+        doc = build_recommendation_doc(
+            profiled.runtime, abstraction=abstraction,
+            recommender_names=names,
+        )
+        payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        if self.store is not None:
+            self.store.put(key, payload, "recommend")
+        # Normalize through the artifact (see module docstring).
+        return json.loads(payload), "miss"

@@ -4,6 +4,11 @@ from typing import Dict, List
 
 from repro.errors import WorkloadError
 from repro.workloads.common import USE_CASES, Workload
+from repro.workloads.fuzz import (
+    random_pointer_chase_program,
+    random_program,
+    random_roi_program,
+)
 from repro.workloads import nas, parsec, spec
 
 #: Every benchmark of the evaluation, in suite order.
@@ -51,4 +56,7 @@ __all__ = [
     "workload",
     "workload_names",
     "figure6_workloads",
+    "random_pointer_chase_program",
+    "random_program",
+    "random_roi_program",
 ]

@@ -1,101 +1,9 @@
-"""Seeded random MiniC program generation for differential suites.
+"""Thin shim over :mod:`repro.workloads.fuzz` (the generators' public
+home since the recommendation refactor).  Kept so existing suites —
+and muscle memory — can keep importing ``helpers.progen``."""
 
-Extracted from ``tests/property/test_vm_equivalence.py`` so every
-differential suite (VM equivalence, prescreen hybrid-vs-dynamic, future
-fuzz work) draws from one generator instead of copy-pasting it.  The
-programs are deterministic per seed: scalar arithmetic with
-data-dependent control flow, array walks, helper calls, and recursion —
-enough surface to shake out operand-slot, phi, call-lowering, and
-probe-planning bugs.
-"""
-
-import random
-
-
-def random_program(seed: int) -> str:
-    """A seeded random MiniC program (deterministic per ``seed``)."""
-    rng = random.Random(seed)
-    n = rng.randint(20, 60)
-    mod = rng.choice([7, 11, 13, 17])
-    mul = rng.choice([3, 5, 9])
-    cmp_op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
-    bin_op = rng.choice(["&", "|", "^"])
-    shift = rng.randint(1, 5)
-    rec_depth = rng.randint(3, 9)
-    return f"""
-int helper(int v) {{
-    if (v {cmp_op} {rng.randint(0, 40)}) {{
-        return v * {mul} + 1;
-    }}
-    return v - {rng.randint(1, 5)};
-}}
-int rec(int d, int acc) {{
-    if (d <= 0) {{ return acc; }}
-    return rec(d - 1, acc + d * {rng.randint(1, 4)});
-}}
-int main() {{
-    int a[{n}];
-    int i;
-    int acc = {rng.randint(0, 9)};
-    float f = {rng.randint(1, 9)}.5;
-    for (i = 0; i < {n}; ++i) {{
-        a[i] = helper(i) % {mod};
-        acc = acc + a[i];
-        if (acc % 2 == 0) {{
-            acc = acc {bin_op} (i << {shift});
-        }} else {{
-            acc = acc - (a[i] >> 1);
-        }}
-        f = f + 0.25;
-    }}
-    acc = acc + rec({rec_depth}, 0);
-    print_int(acc % 100000);
-    print_float(f);
-    return acc % 100;
-}}
-"""
-
-
-def random_roi_program(seed: int) -> str:
-    """A seeded random MiniC program whose inner loop is wrapped in a
-    ``#pragma carmot roi`` — the prescreen differential suite's subject.
-
-    The shape deliberately mixes prescreen-provable PSEs (an
-    accumulator read+written every iteration, an induction slot) with
-    unprovable ones (conditionally-written scalars, accesses behind a
-    helper call) so hybrid-vs-dynamic comparisons exercise both the
-    strip path and the dynamic fallback within one ROI.
-    """
-    rng = random.Random(seed ^ 0x5EED)
-    n = rng.randint(8, 24)
-    outer = rng.randint(2, 5)
-    mul = rng.choice([3, 5, 7])
-    mod = rng.choice([11, 13, 17])
-    cond_mod = rng.choice([2, 3, 4])
-    return f"""
-int helper(int v) {{
-    return v * {mul} + 1;
-}}
-int main() {{
-    int a[{n}];
-    int sum;
-    int odd;
-    sum = 0;
-    odd = {rng.randint(0, 5)};
-    for (int r = 0; r < {outer}; ++r) {{
-        #pragma carmot roi abstraction(parallel_for)
-        {{
-            for (int i = 0; i < {n}; ++i) {{
-                a[i] = helper(i + r) % {mod};
-                sum = sum + a[i];
-                if (a[i] % {cond_mod} == 0) {{
-                    odd = odd + 1;
-                }}
-            }}
-        }}
-    }}
-    print_int(sum);
-    print_int(odd);
-    return sum % 100;
-}}
-"""
+from repro.workloads.fuzz import (  # noqa: F401
+    random_pointer_chase_program,
+    random_program,
+    random_roi_program,
+)

@@ -66,6 +66,29 @@ def test_psec_text_matches_golden(name, capsys):
 
 
 @pytest.mark.parametrize("name", EXAMPLES)
+def test_recommend_text_matches_golden(name, capsys):
+    """The registry-driven recommendation stack renders the same bytes
+    the pre-registry generators did (captured before the refactor)."""
+    assert main(["recommend", _example_path(name)]) == 0
+    golden = (GOLDEN / f"{name}.recommend.txt").read_text()
+    assert capsys.readouterr().out == golden
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_recommend_json_carries_role_evidence(name, capsys):
+    """The versioned document adds role/container evidence and the
+    role-driven hint recommendations on top of the unchanged rendering."""
+    assert main(["recommend", _example_path(name), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    body = doc["body"]
+    assert body["recommend_schema"] >= 1
+    kinds = {rec["kind"]
+             for roi in body["rois"] for rec in roi["recommendations"]}
+    assert "privatization_hint" in kinds
+    assert any(roi["roles"] for roi in body["rois"])
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
 def test_psec_json_matches_golden(name):
     program = compile_carmot(_source(name), name=_example_path(name))
     _, runtime = program.run()

@@ -21,6 +21,9 @@ from repro.errors import BudgetExceeded
 from repro.resilience import FaultPlan, ResiliencePolicy
 from repro.resilience.budgets import ExecutionBudgets
 from repro.runtime.psec_json import serialize_profile
+from tests.helpers.progen import (
+    random_pointer_chase_program as _random_pointer_chase_program,
+)
 from tests.helpers.progen import random_program as _random_program
 from tests.helpers.progen import random_roi_program as _random_roi_program
 
@@ -88,6 +91,26 @@ def test_random_programs_unoptimized_pipeline(seed):
         payloads[vm] = (serialize_profile(runtime, result),
                         _run_state(result))
     assert payloads["ir"] == payloads["bytecode"]
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("encoding", ["object", "packed"])
+def test_pointer_chase_identical_across_engines(seed, encoding):
+    """The pointer-chase family: every iteration's heap access depends
+    on the previous iteration's load, so the chased container carries
+    Transfer state — the data-dependent addressing path both engines
+    must profile identically."""
+    source = _random_pointer_chase_program(seed)
+    payloads = {}
+    for vm in ("ir", "bytecode"):
+        program = compile_carmot(source, name=f"chase{seed}")
+        result, runtime = program.run(vm=vm, event_encoding=encoding)
+        payloads[vm] = (serialize_profile(runtime, result),
+                        _run_state(result))
+    assert payloads["ir"] == payloads["bytecode"]
+    assert any(key[0] == "mem" and "T" in entry.letters
+               for psec in runtime.psecs.values()
+               for key, entry in psec.entries.items())
 
 
 # -- tier-2 re-entry: quickening must stay observationally invisible ----------

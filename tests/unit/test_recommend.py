@@ -1,0 +1,331 @@
+"""Unit tests for the recommender registry, the role/container evidence
+layer, and the versioned recommendation document."""
+
+import pytest
+
+from repro.compiler import compile_carmot
+from repro.errors import RecommendationError
+from repro.recommend import (
+    DEFAULT_SELECTION,
+    RECOMMEND_DOC_FORMAT,
+    Evidence,
+    build_recommendation_doc,
+    create_recommender,
+    parse_selection,
+    recommender_registry_fingerprint,
+    registered_alias_names,
+    registered_recommender_names,
+)
+from repro.recommend.roles import _container_verdict
+from repro._version import RECOMMEND_SCHEMA_VERSION
+
+
+def run(source, abstraction=None):
+    program = compile_carmot(source, abstraction, name="t")
+    _, runtime = program.run()
+    return program, runtime
+
+
+def evidence(runtime, roi_id=0):
+    return Evidence.gather(runtime, roi_id)
+
+
+# -- selection parsing --------------------------------------------------------
+
+
+class TestSelectionParsing:
+    def test_default_selection_is_the_role_hints(self):
+        assert parse_selection(None) == parse_selection(DEFAULT_SELECTION)
+        assert parse_selection(None) == [
+            "reduction_hint", "privatization_hint",
+        ]
+
+    def test_paper_alias_expands_to_the_four_generators(self):
+        assert parse_selection("paper") == [
+            "parallel_for", "task", "smart_pointers", "stats",
+        ]
+
+    def test_all_alias_covers_every_recommender(self):
+        assert set(parse_selection("all")) == \
+            set(registered_recommender_names())
+
+    def test_negation_removes_earlier_occurrence(self):
+        assert parse_selection("all,-stats") == [
+            name for name in parse_selection("all") if name != "stats"
+        ]
+
+    def test_alias_negation_removes_the_expansion(self):
+        assert parse_selection("all,-roles") == parse_selection("paper")
+
+    def test_duplicates_collapse_to_first_occurrence(self):
+        assert parse_selection("stats,paper") == parse_selection("paper")[
+            -1:] + parse_selection("paper")[:-1]
+
+    def test_unknown_name_lists_registered_recommenders(self):
+        with pytest.raises(RecommendationError) as excinfo:
+            parse_selection("bogus")
+        message = str(excinfo.value)
+        assert "unknown recommender 'bogus'" in message
+        for name in registered_recommender_names():
+            assert name in message
+        for alias in registered_alias_names():
+            assert alias in message
+
+    def test_unknown_negation_lists_registered_recommenders(self):
+        with pytest.raises(RecommendationError) as excinfo:
+            parse_selection("all,-bogus")
+        assert "registered recommenders" in str(excinfo.value)
+
+    def test_create_recommender_unknown_name_lists_registered(self):
+        """The bugfix: an unknown abstraction/recommender name reports
+        what *is* registered instead of a bare failure."""
+        with pytest.raises(RecommendationError) as excinfo:
+            create_recommender("parallel_four")
+        message = str(excinfo.value)
+        assert "unknown recommender 'parallel_four'" in message
+        assert "parallel_for" in message
+
+    def test_registry_fingerprint_is_stable(self):
+        assert recommender_registry_fingerprint() == \
+            recommender_registry_fingerprint()
+        assert len(recommender_registry_fingerprint()) == 64
+
+
+# -- variable roles -----------------------------------------------------------
+
+
+ROI_LOOP = """
+int main() {
+  int a[16];
+  int sum = 0;
+  for (int r = 0; r < 3; ++r) {
+    #pragma carmot roi abstraction(parallel_for)
+    {
+      for (int i = 0; i < 16; ++i) {
+        a[i] = a[i] + r;
+        sum = sum + a[i];
+      }
+    }
+  }
+  print_int(sum);
+  return 0;
+}
+"""
+
+
+class TestRoles:
+    def _roles(self, source):
+        _, runtime = run(source)
+        return {role.name: role for role in evidence(runtime).roles}
+
+    def test_iterators_and_accumulator(self):
+        roles = self._roles(ROI_LOOP)
+        assert roles["i"].role == "iterator"
+        assert roles["r"].role == "iterator"
+        assert roles["r"].detail == "loop-governing induction variable"
+        assert roles["i"].detail == "inner-loop induction variable"
+        assert roles["sum"].role == "accumulator"
+        assert "'+'" in roles["sum"].detail
+
+    def test_counter_constant_step(self):
+        roles = self._roles(
+            """
+            int main() {
+              int a[8];
+              int hits = 0;
+              for (int r = 0; r < 2; ++r) {
+                #pragma carmot roi abstraction(parallel_for)
+                {
+                  for (int i = 0; i < 8; ++i) {
+                    a[i] = i * r;
+                    if (a[i] % 2 == 0) { hits = hits + 1; }
+                  }
+                }
+              }
+              print_int(hits);
+              return 0;
+            }
+            """
+        )
+        assert roles["hits"].role == "counter"
+        assert "constant step 1" in roles["hits"].detail
+
+    def test_flag_constant_stores(self):
+        roles = self._roles(
+            """
+            int main() {
+              int a[8];
+              int seen = 0;
+              int sink = 0;
+              for (int r = 0; r < 2; ++r) {
+                #pragma carmot roi abstraction(parallel_for)
+                {
+                  for (int i = 0; i < 8; ++i) {
+                    a[i] = i + r;
+                    if (a[i] > 5) { seen = 1; }
+                    if (seen == 1) { sink = sink + a[i]; }
+                  }
+                }
+              }
+              print_int(sink);
+              return 0;
+            }
+            """
+        )
+        assert roles["seen"].role == "flag"
+        assert "constants {1}" in roles["seen"].detail
+
+    def test_temporary_scratch_scalar(self):
+        """A loop-body ROI: the read-after horizon starts at the
+        enclosing loop's exits, so a written-before-read scratch scalar
+        consumed only inside the region classifies as temporary."""
+        roles = self._roles(
+            """
+            int main() {
+              int a[8];
+              int out = 0;
+              int t;
+              for (int i = 0; i < 8; ++i) {
+                #pragma carmot roi abstraction(parallel_for)
+                {
+                  t = i * 3 + 1;
+                  a[i] = t * t;
+                }
+              }
+              for (int i = 0; i < 8; ++i) { out = out + a[i]; }
+              print_int(out);
+              return 0;
+            }
+            """
+        )
+        assert roles["t"].role == "temporary"
+
+    def test_role_doc_shape(self):
+        _, runtime = run(ROI_LOOP)
+        for role in evidence(runtime).roles:
+            doc = role.doc()
+            assert set(doc) == {"pse", "key", "storage", "role", "detail"}
+
+
+# -- container summaries ------------------------------------------------------
+
+
+class TestContainers:
+    def test_verdict_table(self):
+        assert _container_verdict({"I": 4}) == "read-shared"
+        assert _container_verdict({"CIT": 4}) == "carried-dependence"
+        assert _container_verdict({"CO": 2, "C": 1}) == "mixed"
+        assert _container_verdict({"C": 3}) == "per-invocation-scratch"
+        assert _container_verdict({"CO": 3}) == "per-invocation-scratch"
+        assert _container_verdict({"I": 1, "CIT": 1}) == "mixed-carried"
+        assert _container_verdict({"CI": 2}) == "uniform"
+
+    def test_read_shared_and_scratch_containers(self):
+        _, runtime = run(
+            """
+            int main() {
+              int src[8];
+              int tmp[8];
+              int sum = 0;
+              for (int i = 0; i < 8; ++i) src[i] = i;
+              for (int r = 0; r < 2; ++r) {
+                #pragma carmot roi abstraction(parallel_for)
+                {
+                  for (int i = 0; i < 8; ++i) {
+                    tmp[i] = src[i] * 2;
+                    sum = sum + tmp[i];
+                  }
+                }
+              }
+              print_int(sum);
+              return 0;
+            }
+            """
+        )
+        verdicts = {c.name: c for c in evidence(runtime).containers}
+        assert verdicts["src"].verdict == "read-shared"
+        assert verdicts["tmp"].verdict == "per-invocation-scratch"
+        assert verdicts["tmp"].privatizable
+        assert not verdicts["src"].privatizable
+
+    def test_carried_dependence_container(self):
+        _, runtime = run(ROI_LOOP)
+        verdicts = {c.name: c.verdict for c in evidence(runtime).containers}
+        assert verdicts["a"] == "carried-dependence"
+
+
+# -- role-driven recommenders -------------------------------------------------
+
+
+class TestRoleDrivenRecommenders:
+    def test_reduction_hint_fires_on_accumulator(self):
+        _, runtime = run(ROI_LOOP)
+        rec = create_recommender("reduction_hint")
+        result = rec.generate(evidence(runtime))
+        assert result is not None
+        rendered = result.render()
+        assert "reduction structure detected" in rendered
+        assert "sum" in rendered
+
+    def test_privatization_hint_fires_on_iterators(self):
+        _, runtime = run(ROI_LOOP)
+        rec = create_recommender("privatization_hint")
+        result = rec.generate(evidence(runtime))
+        assert result is not None
+        assert "privatization candidates" in result.render()
+
+    def test_reduction_hint_silent_without_reducible_update(self):
+        _, runtime = run(
+            """
+            int main() {
+              int a[8];
+              for (int r = 0; r < 2; ++r) {
+                #pragma carmot roi abstraction(parallel_for)
+                {
+                  for (int i = 0; i < 8; ++i) { a[i] = i * r; }
+                }
+              }
+              print_int(a[3]);
+              return 0;
+            }
+            """
+        )
+        rec = create_recommender("reduction_hint")
+        assert rec.generate(evidence(runtime)) is None
+
+
+# -- the versioned document ---------------------------------------------------
+
+
+class TestRecommendationDoc:
+    def test_doc_shape_and_version(self):
+        _, runtime = run(ROI_LOOP)
+        doc = build_recommendation_doc(runtime)
+        assert doc["format"] == RECOMMEND_DOC_FORMAT
+        assert doc["version"] == RECOMMEND_SCHEMA_VERSION
+        assert doc["recommenders"] == parse_selection(None)
+        roi = doc["rois"][0]
+        assert set(roi) == {"id", "name", "abstraction", "rendered",
+                            "roles", "containers", "recommendations",
+                            "skipped"}
+        kinds = [r["kind"] for r in roi["recommendations"]]
+        assert kinds[0] == "parallel_for"
+        assert "reduction_hint" in kinds
+        assert "privatization_hint" in kinds
+
+    def test_primary_always_runs_even_when_deselected(self):
+        _, runtime = run(ROI_LOOP)
+        doc = build_recommendation_doc(
+            runtime, recommender_names=parse_selection("reduction_hint"))
+        roi = doc["rois"][0]
+        assert roi["rendered"] is not None
+        assert [r["kind"] for r in roi["recommendations"]][0] == \
+            "parallel_for"
+
+    def test_doc_is_json_deterministic(self):
+        import json
+
+        _, runtime = run(ROI_LOOP)
+        one = json.dumps(build_recommendation_doc(runtime), sort_keys=True)
+        two = json.dumps(build_recommendation_doc(runtime), sort_keys=True)
+        assert one == two

@@ -1,38 +1,39 @@
 """Table 1: which PSEC components each abstraction needs — regenerated from
-the code and checked cell by cell against the paper."""
+the recommender registry and checked cell by cell against the paper."""
+
+import pytest
 
 from repro.abstractions import ABSTRACTION_REQUIREMENTS
 from repro.harness import table1
+from repro.recommend import table1_requirements
 from repro.runtime.config import NAIVE_POLICIES, POLICIES
+
+#: The paper's Table 1, verbatim: abstraction -> (Sets, Use callstacks,
+#: Reachability graph).
+PAPER_TABLE1 = {
+    "omp_parallel_for": (True, True, False),
+    "omp_task": (True, False, False),
+    "smart_pointers": (True, False, True),
+    "stats": (True, False, False),
+}
 
 
 class TestTable1Cells:
-    def test_omp_parallel_for_row(self):
-        req = ABSTRACTION_REQUIREMENTS["omp_parallel_for"]
-        assert (req.sets, req.use_callstacks, req.reachability_graph) == (
-            True, True, False
-        )
+    @pytest.mark.parametrize("paper_name", sorted(PAPER_TABLE1))
+    def test_row_matches_paper(self, paper_name):
+        req = table1_requirements()[paper_name]
+        assert (req.sets, req.use_callstacks, req.reachability_graph) == \
+            PAPER_TABLE1[paper_name]
 
-    def test_omp_task_row(self):
-        req = ABSTRACTION_REQUIREMENTS["omp_task"]
-        assert (req.sets, req.use_callstacks, req.reachability_graph) == (
-            True, False, False
-        )
+    def test_exactly_the_paper_rows(self):
+        """Role-driven recommenders carry no ``paper_name`` and must not
+        leak into the regenerated table."""
+        assert set(table1_requirements()) == set(PAPER_TABLE1)
 
-    def test_smart_pointers_row(self):
-        req = ABSTRACTION_REQUIREMENTS["smart_pointers"]
-        assert (req.sets, req.use_callstacks, req.reachability_graph) == (
-            True, False, True
-        )
-
-    def test_stats_row(self):
-        req = ABSTRACTION_REQUIREMENTS["stats"]
-        assert (req.sets, req.use_callstacks, req.reachability_graph) == (
-            True, False, False
-        )
-
-    def test_exactly_four_abstractions(self):
-        assert len(ABSTRACTION_REQUIREMENTS) == 4
+    def test_registry_backs_the_legacy_constant(self):
+        """``ABSTRACTION_REQUIREMENTS`` is now a registry view — same
+        rows, same cells, resolved through the recommender declarations."""
+        assert ABSTRACTION_REQUIREMENTS == table1_requirements()
 
 
 class TestPoliciesFollowTable1:
